@@ -1,0 +1,152 @@
+"""Shared setup for the per-figure/per-table benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at a scaled
+configuration (see DESIGN.md §4: a pure-Python event simulator cannot
+replay Theta-scale traces in benchmark time; congestion behaviour is
+preserved by scaling the machine and the message loads together).
+
+Environment knobs:
+
+* ``REPRO_BENCH_PRESET`` — ``tiny`` / ``small`` (default) / ``medium`` /
+  ``theta``: machine size.
+* ``REPRO_BENCH_RANKS``  — application rank count (default per preset).
+* ``REPRO_BENCH_SEED``   — experiment seed (default 1).
+
+Each benchmark writes its paper-style text rendering to
+``benchmarks/results/<name>.txt`` so the regenerated rows/series survive
+pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import repro
+from repro.config import SimulationConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_PRESETS = {
+    "tiny": repro.tiny,
+    "small": repro.small,
+    "medium": repro.medium,
+    "theta": repro.theta,
+}
+
+#: Default application rank count per machine preset (~30-40% of nodes,
+#: mirroring the paper's 1000-of-3456 ratio).
+_DEFAULT_RANKS = {"tiny": 8, "small": 32, "medium": 128, "theta": 1000}
+
+#: Message-size scale per app, tuned so the default (*medium*) preset
+#: reproduces the paper's congestion regimes in benchmark-friendly
+#: time. The ratios between apps preserve the paper's intensity
+#: ordering (AMG < CR < FB).
+APP_SCALES = {"CR": 1.0, "FB": 0.05, "AMG": 1.0}
+
+_BUILDERS = {
+    "CR": repro.crystal_router_trace,
+    "FB": repro.fill_boundary_trace,
+    "AMG": repro.amg_trace,
+}
+
+
+def preset_name() -> str:
+    return os.environ.get("REPRO_BENCH_PRESET", "medium")
+
+
+def bench_config() -> SimulationConfig:
+    return _PRESETS[preset_name()]().with_seed(bench_seed())
+
+
+def bench_ranks() -> int:
+    env = os.environ.get("REPRO_BENCH_RANKS")
+    return int(env) if env else _DEFAULT_RANKS[preset_name()]
+
+
+def bench_seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+
+def bench_trace(app: str, extra_scale: float = 1.0):
+    """The app's trace at the benchmark's machine-appropriate load."""
+    trace = _BUILDERS[app](num_ranks=bench_ranks(), seed=bench_seed())
+    scale = APP_SCALES[app] * extra_scale
+    return trace.scaled(scale) if scale != 1.0 else trace
+
+
+def background_specs(app: str) -> dict:
+    """The Section IV-C background-traffic specs, at bench scale.
+
+    The paper drives the synthetic job with ~16 KB per-node messages:
+    uniform-random at small intervals (0.002-1 ms) and bursty blasts at
+    large intervals (0.1-60 ms). The per-interval loads in Table II are
+    similar across target apps, but the *interval* differs hugely — the
+    AMG experiment's background is orders of magnitude more intense per
+    unit time, which is what exposes AMG's sensitivity while CR/FB show
+    "no obvious performance variation" under uniform background. We
+    keep that structure: one 16 KB message per node per interval, with
+    a short interval for the AMG study and a long one for CR/FB, and
+    synchronised bursts whose fanout ordering (CR > FB > AMG) mirrors
+    Table II's bursty loads.
+    """
+    from repro.core.interference import BackgroundSpec
+
+    uniform_interval = {"CR": 50_000.0, "FB": 50_000.0, "AMG": 2_000.0}[app]
+    uniform = BackgroundSpec(
+        "uniform", message_bytes=16_384, interval_ns=uniform_interval
+    )
+    fanout = {"CR": 24, "FB": 12, "AMG": 8}[app]
+    bursty = BackgroundSpec(
+        "bursty", message_bytes=32_768, interval_ns=500_000.0, fanout=fanout
+    )
+    return {"uniform": uniform, "bursty": bursty}
+
+
+def interference_grid(app: str, pattern: str):
+    """Placement x routing grid for `app` under background traffic."""
+    from repro.core.interference import interference_study
+
+    key = ("bg", app, pattern, preset_name(), bench_ranks(), bench_seed())
+    if key not in _GRID_CACHE:
+        _GRID_CACHE[key] = interference_study(
+            bench_config(),
+            bench_trace(app),
+            background_specs(app)[pattern],
+            seed=bench_seed(),
+        )
+    return _GRID_CACHE[key]
+
+
+_GRID_CACHE: dict[tuple, object] = {}
+
+
+def app_grid(app: str):
+    """The full 10-configuration study for one app (memoised per session).
+
+    Figure 3 and Figures 4-6 all draw on the same grid; running it once
+    per pytest session keeps the benchmark suite's wall time dominated
+    by distinct experiments rather than repeats.
+    """
+    from repro.core.study import TradeoffStudy
+
+    key = (app, preset_name(), bench_ranks(), bench_seed())
+    if key not in _GRID_CACHE:
+        study = TradeoffStudy(
+            bench_config(), {app: bench_trace(app)}, seed=bench_seed()
+        )
+        _GRID_CACHE[key] = study.run()
+    return _GRID_CACHE[key]
+
+
+def save_report(name: str, text: str) -> Path:
+    """Persist a figure/table rendering under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    header = (
+        f"# {name} — preset={preset_name()} ranks={bench_ranks()} "
+        f"seed={bench_seed()}\n"
+    )
+    path.write_text(header + text + "\n")
+    print(text)
+    return path

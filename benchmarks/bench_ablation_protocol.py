@@ -1,0 +1,69 @@
+"""Ablation: eager vs rendezvous message protocol.
+
+The paper's replay layer (and ours, by default) is eager: a send never
+waits for the receiver. Real MPI switches to a rendezvous handshake
+above a threshold, coupling sender and receiver progress. This ablation
+shows the protocol's effect on FB (large halo messages, so everything
+above a small threshold goes rendezvous) — the qualitative placement
+trade-off survives, but absolute times stretch.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import bench_seed, save_report
+
+import repro
+from repro.core.runner import build_topology
+from repro.engine.simulator import Simulator
+from repro.metrics.collector import RunMetrics
+from repro.mpi.replay import ReplayEngine
+from repro.network.fabric import Fabric
+from repro.placement.machine import Machine
+from repro.routing import make_routing
+
+THRESHOLD = 8192
+
+
+def run_one(placement: str, threshold):
+    cfg = repro.small().with_seed(bench_seed())
+    trace = repro.fill_boundary_trace(num_ranks=32, seed=bench_seed()).scaled(0.05)
+    topo = build_topology(cfg.topology)
+    machine = Machine(cfg.topology)
+    nodes = machine.allocate(placement, trace.num_ranks, seed=bench_seed())
+    sim = Simulator()
+    fabric = Fabric(sim, topo, cfg.network, make_routing("adp", seed=bench_seed()))
+    engine = ReplayEngine(sim, fabric, eager_threshold=threshold)
+    engine.add_job(0, trace, nodes)
+    engine.run(target_job=0)
+    return RunMetrics.from_run(fabric, topo, engine.job_result(0), nodes)
+
+
+def test_ablation_protocol(benchmark):
+    results = benchmark.pedantic(
+        lambda: {
+            (proto, placement): run_one(
+                placement, None if proto == "eager" else THRESHOLD
+            )
+            for proto in ("eager", "rendezvous")
+            for placement in ("cont", "rand")
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = ["Ablation — message protocol (FB under adaptive routing, ms)"]
+    lines.append(f"{'protocol':<12} {'cont median':>12} {'rand median':>12}")
+    for proto in ("eager", "rendezvous"):
+        cont = results[(proto, "cont")].median_comm_time_ns / 1e6
+        rand = results[(proto, "rand")].median_comm_time_ns / 1e6
+        lines.append(f"{proto:<12} {cont:>12.4f} {rand:>12.4f}")
+    save_report("ablation_protocol", "\n".join(lines))
+
+    # Rendezvous adds handshake latency under either placement.
+    for placement in ("cont", "rand"):
+        assert (
+            results[("rendezvous", placement)].median_comm_time_ns
+            >= results[("eager", placement)].median_comm_time_ns
+        )

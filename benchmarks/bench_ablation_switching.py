@@ -1,0 +1,55 @@
+"""Ablation: virtual cut-through vs store-and-forward switching.
+
+DESIGN.md §3 models links as packet-granular with VCT by default (like
+the flit-level CODES). This ablation quantifies what the switching mode
+does to the locality trade-off: store-and-forward charges a full
+serialisation per hop, inflating the cost of random placement's longer
+paths and thereby *overstating* the value of localized communication.
+"""
+
+import dataclasses
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import bench_seed, save_report
+
+import repro
+
+
+def run_matrix():
+    # Light load: the latency-dominated regime where switching mode
+    # directly prices path length (heavy loads mix in queueing effects
+    # that can mask it).
+    base = repro.small().with_seed(bench_seed())
+    trace = repro.crystal_router_trace(num_ranks=32, seed=bench_seed()).scaled(0.02)
+    out = {}
+    for mode in ("vct", "store_forward"):
+        cfg = dataclasses.replace(
+            base, network=dataclasses.replace(base.network, switching=mode)
+        )
+        for placement in ("cont", "rand"):
+            r = repro.run_single(cfg, trace, placement, "min", seed=bench_seed())
+            out[(mode, placement)] = r.metrics.median_comm_time_ns / 1e6
+    return out
+
+
+def test_ablation_switching(benchmark):
+    out = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+
+    lines = ["Ablation — switching mode (CR at 2% load, small preset, ms)"]
+    lines.append(f"{'mode':<15} {'cont-min':>10} {'rand-min':>10} {'rand/cont':>10}")
+    for mode in ("vct", "store_forward"):
+        cont = out[(mode, "cont")]
+        rand = out[(mode, "rand")]
+        lines.append(f"{mode:<15} {cont:>10.4f} {rand:>10.4f} {rand / cont:>10.3f}")
+    save_report("ablation_switching", "\n".join(lines))
+
+    # Store-and-forward penalises the longer random-placement paths
+    # more: the rand/cont ratio is larger than under cut-through.
+    vct_ratio = out[("vct", "rand")] / out[("vct", "cont")]
+    sf_ratio = out[("store_forward", "rand")] / out[("store_forward", "cont")]
+    assert sf_ratio > vct_ratio
+    # Cut-through is never slower than store-and-forward.
+    for placement in ("cont", "rand"):
+        assert out[("vct", placement)] <= out[("store_forward", placement)]

@@ -1,0 +1,81 @@
+"""Figure 2: application communication matrices and message load per rank.
+
+Top row (a-c): the rank-to-rank communication matrix of CR, FB, AMG.
+Bottom row (d-f): average message load per rank over time, measured by
+replaying each application alone under cont-min and recording send
+events (CR steady ~target load, FB strongly fluctuating, AMG three
+surges).
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import bench_config, bench_seed, bench_trace, save_report
+
+import repro
+from repro.metrics.analysis import load_timeline
+
+
+def characterize(app):
+    trace = bench_trace(app)
+    mat = trace.communication_matrix()
+    result = repro.run_single(
+        bench_config(), trace, "cont", "min", seed=bench_seed(), record_sends=True
+    )
+    centers, loads = load_timeline(
+        result.job.send_events, trace.num_ranks, num_bins=24
+    )
+    return trace, mat, centers, loads
+
+
+def render(app, trace, mat, centers, loads):
+    lines = [f"Figure 2 — {app} characterization"]
+    partners = (mat > 0).sum(axis=1)
+    lines.append(
+        f"  ranks={trace.num_ranks}  messages={trace.num_messages()}  "
+        f"total={trace.total_bytes() / 1e6:.2f} MB"
+    )
+    lines.append(
+        f"  avg load/rank={trace.avg_message_load_per_rank() / 1e3:.1f} KB  "
+        f"partners/rank min/mean/max={partners.min()}/{partners.mean():.1f}/{partners.max()}"
+    )
+    near = sum(
+        mat[i, j]
+        for i in range(len(mat))
+        for j in range(len(mat))
+        if 0 < min((i - j) % len(mat), (j - i) % len(mat)) <= 2
+    )
+    lines.append(f"  near-diagonal traffic share={near / max(mat.sum(), 1):.2f}")
+    lines.append("  message load per rank over time (KB per bin):")
+    if len(loads):
+        peak = loads.max()
+        for c, v in zip(centers, loads):
+            bar = "#" * int(40 * v / peak) if peak else ""
+            lines.append(f"    t={c / 1e6:8.3f} ms  {v / 1e3:9.2f} KB {bar}")
+    return "\n".join(lines)
+
+
+def test_fig2_characterization(benchmark):
+    results = benchmark.pedantic(
+        lambda: {app: characterize(app) for app in ("CR", "FB", "AMG")},
+        rounds=1,
+        iterations=1,
+    )
+    text = "\n\n".join(render(app, *results[app]) for app in results)
+    save_report("fig2_characterization", text)
+
+    # Shape assertions from the paper's characterisation.
+    cr_mat = results["CR"][1]
+    fb_mat = results["FB"][1]
+    amg_mat = results["AMG"][1]
+    # AMG is regional: far fewer partner pairs than CR's many-to-many.
+    assert (amg_mat > 0).sum() < (cr_mat > 0).sum()
+    # FB is the heaviest, AMG the lightest (per rank).
+    loads = {
+        app: results[app][0].avg_message_load_per_rank()
+        for app in ("CR", "FB", "AMG")
+    }
+    assert loads["AMG"] < loads["CR"] < loads["FB"]

@@ -1,0 +1,52 @@
+"""Figure 4: CR average hops, channel traffic, and link saturation.
+
+(a) CDF of per-rank average hops, (b) CDF of local channel traffic,
+(c) CDF of local link saturation time, (d) CDF of global link
+saturation time — for all 10 placement x routing configurations.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import app_grid, save_report
+
+from repro.core.report import format_cdf_table
+
+
+def test_fig4_cr_network(benchmark):
+    grid = benchmark.pedantic(lambda: app_grid("CR"), rounds=1, iterations=1)
+
+    sections = [
+        format_cdf_table(
+            grid.hops_cdf("CR"), "Figure 4(a) — CR average hops CDF", "hops"
+        ),
+        format_cdf_table(
+            grid.traffic_cdf("CR", "local"),
+            "Figure 4(b) — CR local channel traffic CDF",
+            "MB",
+        ),
+        format_cdf_table(
+            grid.saturation_cdf("CR", "local"),
+            "Figure 4(c) — CR local link saturation CDF",
+            "ms",
+        ),
+        format_cdf_table(
+            grid.saturation_cdf("CR", "global"),
+            "Figure 4(d) — CR global link saturation CDF",
+            "ms",
+        ),
+    ]
+    save_report("fig4_cr_network", "\n\n".join(sections))
+
+    # Paper shape: contiguous has fewer hops than random-node; minimal
+    # fewer than adaptive; localized placement saturates local links
+    # more than balanced placement (Fig 4c) under either routing.
+    m = {label: grid.get("CR", label).metrics for label in grid.labels()}
+    assert m["cont-min"].mean_hops < m["rand-min"].mean_hops
+    assert m["cont-min"].mean_hops <= m["cont-adp"].mean_hops
+    assert m["rand-min"].mean_hops <= m["rand-adp"].mean_hops
+    assert m["cont-min"].total_local_sat_ns > m["rand-min"].total_local_sat_ns
+    assert m["cont-adp"].total_local_sat_ns > m["rand-adp"].total_local_sat_ns
+    # Balanced placement wins for CR (paper: up to 8% over contiguous).
+    assert m["rand-min"].max_comm_time_ns < m["cont-min"].max_comm_time_ns

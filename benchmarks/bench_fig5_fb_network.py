@@ -1,0 +1,51 @@
+"""Figure 5: FB channel traffic and link saturation.
+
+(a) local channel traffic CDF, (b) local link saturation CDF,
+(c) global channel traffic CDF, (d) global link saturation CDF —
+for all 10 placement x routing configurations.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import app_grid, save_report
+
+from repro.core.report import format_cdf_table
+
+
+def test_fig5_fb_network(benchmark):
+    grid = benchmark.pedantic(lambda: app_grid("FB"), rounds=1, iterations=1)
+
+    sections = [
+        format_cdf_table(
+            grid.traffic_cdf("FB", "local"),
+            "Figure 5(a) — FB local channel traffic CDF",
+            "MB",
+        ),
+        format_cdf_table(
+            grid.saturation_cdf("FB", "local"),
+            "Figure 5(b) — FB local link saturation CDF",
+            "ms",
+        ),
+        format_cdf_table(
+            grid.traffic_cdf("FB", "global"),
+            "Figure 5(c) — FB global channel traffic CDF",
+            "MB",
+        ),
+        format_cdf_table(
+            grid.saturation_cdf("FB", "global"),
+            "Figure 5(d) — FB global link saturation CDF",
+            "ms",
+        ),
+    ]
+    save_report("fig5_fb_network", "\n\n".join(sections))
+
+    m = {label: grid.get("FB", label).metrics for label in grid.labels()}
+    # cont-min clusters traffic on few channels -> worst local saturation;
+    # FB's best config balances traffic (rand + adp).
+    assert m["cont-min"].total_local_sat_ns >= m["cont-adp"].total_local_sat_ns
+    best = grid.best_label("FB", stat="max")
+    assert best.endswith("adp")
+    # Random placement moves load onto global channels.
+    assert m["rand-min"].total_global_traffic > m["cont-min"].total_global_traffic

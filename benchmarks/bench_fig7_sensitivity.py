@@ -1,0 +1,77 @@
+"""Figure 7: sensitivity of communication performance to message load.
+
+Sweeps each application's message sizes over the paper's relative grid
+(CR/FB: 0.01x-2x, AMG: 0.5x-20x of the app's base load) under the four
+extreme configurations and reports the maximum communication time
+relative to rand-adp — the paper's Figure 7(a-c).
+
+Shape assertions encode the crossovers the paper reports: contiguous
+wins at low intensity, balanced placement wins as intensity grows.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import bench_config, bench_seed, bench_trace, save_report
+
+from repro.core.report import format_series_table
+from repro.core.sensitivity import PAPER_SCALES, sensitivity_sweep
+
+#: Reduced scale grids keeping the paper's span with fewer points.
+BENCH_SCALES = {
+    "CR": (0.01, 0.1, 0.5, 1.0, 2.0),
+    "FB": (0.01, 0.1, 0.5, 1.0, 2.0),
+    "AMG": (0.5, 1.0, 5.0, 20.0),
+}
+
+
+def run_sweeps():
+    out = {}
+    for app, scales in BENCH_SCALES.items():
+        out[app] = sensitivity_sweep(
+            bench_config(), bench_trace(app), scales, seed=bench_seed()
+        )
+    return out
+
+
+def test_fig7_sensitivity(benchmark):
+    sweeps = benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
+
+    sections = []
+    for i, (app, sweep) in enumerate(sweeps.items()):
+        rel = sweep.relative()
+        sections.append(
+            format_series_table(
+                sweep.scales,
+                rel,
+                f"Figure 7({'abc'[i]}) — {app} max comm time relative "
+                "to rand-adp (%)",
+                x_name="msg scale",
+            )
+        )
+    save_report("fig7_sensitivity", "\n\n".join(sections))
+
+    # Paper: all scale grids come from Section IV-B.
+    assert set(BENCH_SCALES) == set(PAPER_SCALES)
+
+    cr = sweeps["CR"].relative()
+    # CR at high load: random placement beats contiguous under minimal
+    # routing ("random-node placement outperforms contiguous by up to
+    # 7.5%" as load grows).
+    assert cr["rand-min"][-1] < cr["cont-min"][-1]
+
+    fb = sweeps["FB"].relative()
+    # FB: rand-adp (the 100% baseline) is best, or within noise of best,
+    # at the highest intensity ("always gives the best communication
+    # performance with increased communication intensity").
+    assert min(fb[label][-1] for label in fb) >= 100.0 - 5.0
+
+    amg = sweeps["AMG"].relative()
+    # AMG (Fig 7c): "minimal routing performs badly due to inability to
+    # traverse nonminimal paths, while adaptive routing achieves better
+    # performance" as the load grows.
+    assert amg["cont-adp"][-1] < amg["cont-min"][-1]
+    assert amg["rand-adp"][-1] <= amg["rand-min"][-1]
+    # Minimal routing's relative cost grows with intensity.
+    assert amg["rand-min"][-1] >= amg["rand-min"][0] - 5.0

@@ -1,0 +1,82 @@
+"""Figure 9: CR under uniform random and bursty background traffic.
+
+(a) communication time under uniform random background, (b) under
+bursty background, (c) local channel traffic CDF of CR's routers under
+the bursty pattern.
+
+Paper findings: frequent communicators like CR barely degrade under
+uniform random background but suffer badly under bursty background;
+localized configurations (cont-min / cab-min) vary least.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import bench_config, bench_seed, bench_trace, interference_grid, save_report
+
+import repro
+from repro.core.report import format_box_table, format_cdf_table
+
+
+def run_all():
+    return {
+        "uniform": interference_grid("CR", "uniform"),
+        "bursty": interference_grid("CR", "bursty"),
+    }
+
+
+def test_fig9_cr_background(benchmark):
+    grids = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    sections = [
+        format_box_table(
+            grids["uniform"].comm_time_boxes("CR"),
+            "Figure 9(a) — CR communication time, uniform random background",
+            unit="ms",
+        ),
+        format_box_table(
+            grids["bursty"].comm_time_boxes("CR"),
+            "Figure 9(b) — CR communication time, bursty background",
+            unit="ms",
+        ),
+        format_cdf_table(
+            grids["bursty"].traffic_cdf("CR", "local"),
+            "Figure 9(c) — CR-router local channel traffic CDF (bursty)",
+            "MB",
+        ),
+    ]
+
+    alone = {
+        label: repro.run_single(
+            bench_config(),
+            bench_trace("CR"),
+            *label.rsplit("-", 1),
+            seed=bench_seed(),
+        ).metrics.median_comm_time_ns
+        for label in ("cont-min", "rand-adp")
+    }
+    uniform = grids["uniform"]
+    bursty = grids["bursty"]
+    lines = ["degradation vs interference-free (median):"]
+    for label in ("cont-min", "rand-adp"):
+        u = uniform.get("CR", label).metrics.median_comm_time_ns / alone[label]
+        b = bursty.get("CR", label).metrics.median_comm_time_ns / alone[label]
+        lines.append(f"  {label}: uniform {u:5.2f}x   bursty {b:5.2f}x")
+    sections.append("\n".join(lines))
+    save_report("fig9_cr_background", "\n\n".join(sections))
+
+    # "No obvious performance variation ... under uniform random traffic"
+    # for the localized configs; bursty hurts much more than uniform.
+    u_cm = uniform.get("CR", "cont-min").metrics.median_comm_time_ns
+    b_cm = bursty.get("CR", "cont-min").metrics.median_comm_time_ns
+    assert u_cm / alone["cont-min"] < 2.0
+    # Bursty background: localized cont-min/cab-min degrade least.
+    med = {
+        label: bursty.get("CR", label).metrics.median_comm_time_ns
+        for label in bursty.labels()
+    }
+    localized_best = min(med["cont-min"], med["cab-min"])
+    assert localized_best <= np.median(list(med.values()))

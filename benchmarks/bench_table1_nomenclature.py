@@ -1,0 +1,30 @@
+"""Table I: nomenclature of placement and routing configurations.
+
+Regenerates the paper's configuration grid (5 placements x 2 routings)
+and benchmarks the cost of instantiating every policy pair — a sanity
+baseline confirming configuration setup is negligible next to simulation.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import save_report
+
+from repro.core.report import nomenclature_table
+from repro.placement import PLACEMENT_NAMES, make_placement
+from repro.routing import ROUTING_NAMES, make_routing
+
+
+def build_grid():
+    return [
+        (make_placement(p), make_routing(r))
+        for p in PLACEMENT_NAMES
+        for r in ROUTING_NAMES
+    ]
+
+
+def test_table1_nomenclature(benchmark):
+    grid = benchmark(build_grid)
+    assert len(grid) == 10
+    save_report("table1_nomenclature", nomenclature_table())

@@ -1,0 +1,57 @@
+"""Table II: peak background traffic load on the network.
+
+Computes the peak load (total message load among all background ranks
+per interval) of the uniform-random and bursty patterns used in the
+Figure 8-10 benches, alongside the paper's Theta-scale values for
+comparison of the *structure* (uniform loads equal across apps; bursty
+loads orders of magnitude larger, CR's burst the largest).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import background_specs, bench_config, bench_ranks, save_report
+
+from repro.core.interference import background_load_table
+
+#: Paper Table II (Theta scale), for side-by-side shape comparison.
+PAPER_TABLE2 = {
+    "CR": (38.38, 92.00),
+    "FB": (38.38, 5.75),
+    "AMG": (27.00, 2.85),
+}
+
+
+def compute_rows():
+    cfg = bench_config()
+    specs = {app: background_specs(app) for app in ("CR", "FB", "AMG")}
+    bg_nodes = {
+        app: cfg.topology.num_nodes - bench_ranks() for app in ("CR", "FB", "AMG")
+    }
+    return background_load_table(specs, bg_nodes)
+
+
+def test_table2_background_load(benchmark):
+    rows = benchmark(compute_rows)
+
+    lines = [
+        "Table II — Peak Background Traffic Load on the Network",
+        f"{'App':<5} {'Uniform (MB)':>14} {'Bursty (GB)':>13}"
+        f" {'paper uniform':>14} {'paper bursty':>13}",
+    ]
+    for app, uniform_mb, bursty_gb in rows:
+        pu, pb = PAPER_TABLE2[app]
+        lines.append(
+            f"{app:<5} {uniform_mb:>14.3f} {bursty_gb:>13.4f} {pu:>14.2f} {pb:>13.2f}"
+        )
+    save_report("table2_background_load", "\n".join(lines))
+
+    by_app = {app: (u, b) for app, u, b in rows}
+    # Structure matches the paper: uniform per-interval loads are equal
+    # across target apps; bursty loads dwarf uniform ones; CR's bursty
+    # load is the largest (full fanout).
+    assert by_app["CR"][0] == by_app["FB"][0] == by_app["AMG"][0]
+    for app in by_app:
+        assert by_app[app][1] * 1e3 > by_app[app][0]  # GB vs MB
+    assert by_app["CR"][1] > by_app["FB"][1] > by_app["AMG"][1]

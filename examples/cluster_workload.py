@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Multi-job cluster study: real applications interfering.
+
+The paper approximates a shared machine with synthetic background
+traffic (§IV-C) and lists "the joint actions among applications" as
+future work. This example runs that future-work experiment: CR, FB and
+AMG co-scheduled on one dragonfly with staggered arrivals, measuring
+each job's slowdown versus running alone on the same nodes — then asks
+the placement advisor what each job should have requested.
+
+Run:  python examples/cluster_workload.py
+"""
+
+import repro
+from repro.core.advisor import recommend
+from repro.core.cluster import JobSpec, run_cluster
+
+
+def main() -> None:
+    config = repro.small()
+
+    specs = [
+        JobSpec(
+            repro.crystal_router_trace(num_ranks=24, seed=1).scaled(0.5),
+            placement="cont",
+        ),
+        JobSpec(
+            repro.fill_boundary_trace(num_ranks=24, seed=2).scaled(0.02),
+            placement="rotr",
+            arrival_ns=10_000.0,
+        ),
+        JobSpec(
+            repro.amg_trace(num_ranks=16, seed=3),
+            placement="cont",
+            arrival_ns=20_000.0,
+        ),
+    ]
+
+    print("running 3 jobs on a shared 80-node dragonfly...\n")
+    result = run_cluster(config, specs, routing="adp", seed=7)
+    print(result.to_text())
+
+    print("\nwhat the advisor would have recommended (shared network):")
+    for spec in specs:
+        rec = recommend(spec.trace, config, shared_network=True)
+        print(f"  {spec.trace.name:<4} requested {spec.placement:<5} "
+              f"-> advisor says {rec.label}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""The paper's Section IV-B sensitivity study, end to end.
+
+Scales the Crystal Router mini-app's message sizes from 1% to 200% of
+the original and compares the four extreme configurations, reproducing
+Figure 7(a)'s crossover: contiguous placement wins at low communication
+intensity (fewer hops, nothing to congest), random-node placement wins
+as intensity grows (balanced traffic avoids local saturation).
+
+Run:  python examples/sensitivity_study.py
+"""
+
+import repro
+from repro.core.report import format_series_table
+from repro.core.sensitivity import sensitivity_sweep
+
+
+def main() -> None:
+    # The crossover needs groups big enough for contiguous placement to
+    # congest itself: use the 432-node medium preset (~90 s runtime).
+    config = repro.medium()
+    trace = repro.crystal_router_trace(num_ranks=128, seed=1)
+
+    scales = (0.01, 0.1, 0.5, 1.0, 2.0)
+    sweep = sensitivity_sweep(config, trace, scales, seed=1)
+
+    print(
+        format_series_table(
+            sweep.scales,
+            sweep.relative(),
+            "CR max comm time relative to rand-adp, % (cf. Figure 7a)",
+            x_name="msg scale",
+        )
+    )
+
+    rel = sweep.relative()
+    low = {k: v[0] for k, v in rel.items()}
+    high = {k: v[-1] for k, v in rel.items()}
+    print(f"\nat {scales[0]:>5.2f}x load the best config is "
+          f"{min(low, key=low.get)}")
+    print(f"at {scales[-1]:>5.2f}x load the best config is "
+          f"{min(high, key=high.get)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""A tour of the dragonfly topology and routing substrate.
+
+Walks through the machine model at the level below the experiment
+drivers: geometry (groups/cabinets/chassis/routers/nodes), link
+inventory, minimal route enumeration, Valiant detours, and what the
+adaptive policy sees when links are congested.
+
+Run:  python examples/topology_tour.py
+"""
+
+import random
+
+import repro
+from repro.core.runner import build_topology
+from repro.engine.simulator import Simulator
+from repro.network.fabric import Fabric
+from repro.routing import AdaptiveRouting, MinimalRouting
+from repro.routing.paths import valiant_route
+from repro.routing.tables import route_tables
+from repro.topology.geometry import router_coord
+from repro.topology.links import LinkKind
+
+
+def main() -> None:
+    config = repro.small()
+    p = config.topology
+    topo = build_topology(p)
+
+    print("machine geometry")
+    print(f"  groups={p.groups}  routers/group={p.routers_per_group} "
+          f"({p.rows}x{p.cols} grid)  nodes/router={p.nodes_per_router}")
+    print(f"  nodes={p.num_nodes}  chassis={p.num_chassis} "
+          f"cabinets={p.num_cabinets}")
+    kinds = topo.links.kind
+    for kind in LinkKind:
+        print(f"  {kind.name:<13} links: {(kinds == kind).sum()}")
+
+    # Minimal routes between two routers in different groups.
+    src, dst = 0, p.routers_per_group + 5
+    tables = route_tables(topo)
+    print(f"\nminimal routes router {src} {router_coord(p, src)} -> "
+          f"router {dst} {router_coord(p, dst)}:")
+    for route in tables.minimal(src, dst):
+        names = [topo.links.kind_of(l).name for l in route]
+        print(f"  {len(route)} hops: {' -> '.join(names)}")
+
+    rng = random.Random(0)
+    detour = valiant_route(tables, src, dst, rng)
+    print(f"one Valiant detour: {len(detour)} hops "
+          f"({' -> '.join(topo.links.kind_of(l).name for l in detour)})")
+
+    # What adaptive routing does under congestion.
+    sim = Simulator()
+    fabric = Fabric(sim, topo, config.network, MinimalRouting(seed=0))
+    adaptive = AdaptiveRouting(seed=0)
+    dst_node = dst * p.nodes_per_router
+    route_clear = adaptive.route(fabric, src, dst_node, 2048)
+    # Pile synthetic backlog onto every minimal first hop.
+    for path in tables.minimal(src, dst):
+        fabric.queued_bytes[path[0]] += 5_000_000
+    route_congested = adaptive.route(fabric, src, dst_node, 2048)
+    print(f"\nadaptive, idle network:     {len(route_clear) - 1} hops "
+          f"(minimal taken: {adaptive.minimal_taken})")
+    print(f"adaptive, congested source: {len(route_congested) - 1} hops "
+          f"(nonminimal taken: {adaptive.nonminimal_taken})")
+
+
+if __name__ == "__main__":
+    main()

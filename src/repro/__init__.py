@@ -1,0 +1,108 @@
+"""dragonfly-tradeoff: reproduction of the IPDPS 2018 trade-off study of
+localizing communication vs. balancing network traffic on dragonfly systems.
+
+Quickstart::
+
+    import repro
+
+    cfg = repro.small()
+    trace = repro.crystal_router_trace(num_ranks=32, seed=1)
+    result = repro.run_single(
+        cfg, trace, placement="rand", routing="adp", seed=1
+    )
+    print(result.job.comm_time_ns.max() / 1e6, "ms")
+
+Higher-level drivers live in :mod:`repro.core`:
+:class:`~repro.core.study.TradeoffStudy` (paper Section IV-A),
+:func:`~repro.core.sensitivity.sensitivity_sweep` (IV-B), and
+:func:`~repro.core.interference.interference_study` (IV-C).
+"""
+
+from repro.config import (
+    DragonflyParams,
+    NetworkParams,
+    SimulationConfig,
+    theta,
+    medium,
+    small,
+    tiny,
+)
+from repro.topology import Dragonfly, LinkKind
+from repro.engine import Simulator, rng_stream
+from repro.network import Fabric, Message
+from repro.routing import AdaptiveRouting, MinimalRouting, make_routing
+from repro.mpi import (
+    JobTrace,
+    RankTrace,
+    ReplayEngine,
+    load_trace,
+    save_trace,
+)
+from repro.placement import make_placement, PLACEMENT_NAMES
+from repro.apps import (
+    amg_trace,
+    crystal_router_trace,
+    fill_boundary_trace,
+    BurstyTraffic,
+    UniformRandomTraffic,
+)
+from repro.metrics import RunMetrics, cdf, box_stats
+from repro.core import (
+    JobSpec,
+    Recommendation,
+    RunResult,
+    TradeoffStudy,
+    interference_study,
+    recommend,
+    run_cluster,
+    run_single,
+    sensitivity_sweep,
+    variability_study,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DragonflyParams",
+    "NetworkParams",
+    "SimulationConfig",
+    "theta",
+    "medium",
+    "small",
+    "tiny",
+    "Dragonfly",
+    "LinkKind",
+    "Simulator",
+    "rng_stream",
+    "Fabric",
+    "Message",
+    "AdaptiveRouting",
+    "MinimalRouting",
+    "make_routing",
+    "JobTrace",
+    "RankTrace",
+    "ReplayEngine",
+    "load_trace",
+    "save_trace",
+    "make_placement",
+    "PLACEMENT_NAMES",
+    "amg_trace",
+    "crystal_router_trace",
+    "fill_boundary_trace",
+    "BurstyTraffic",
+    "UniformRandomTraffic",
+    "RunMetrics",
+    "cdf",
+    "box_stats",
+    "RunResult",
+    "TradeoffStudy",
+    "interference_study",
+    "run_single",
+    "sensitivity_sweep",
+    "JobSpec",
+    "run_cluster",
+    "Recommendation",
+    "recommend",
+    "variability_study",
+    "__version__",
+]

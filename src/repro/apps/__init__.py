@@ -1,0 +1,54 @@
+"""Application workloads (paper Section III-A) and background traffic.
+
+Synthetic trace generators reproducing the published communication
+characteristics of the three DOE Design Forward mini-apps:
+
+* :func:`crystal_router_trace` — CR: many-to-many multistage exchange
+  with a substantial neighbourhood share and a steady ~190 KB/rank load;
+* :func:`fill_boundary_trace` — FB: 3D block-decomposition halo exchange
+  plus sparse many-to-many, strongly fluctuating 100 KB–2560 KB loads;
+* :func:`amg_trace` — AMG: regional (≤6 neighbour) communication with
+  per-level decreasing sizes in three short surges, ≤75 KB peak.
+
+Plus the two synthetic background-traffic generators of Section IV-C:
+:class:`UniformRandomTraffic` and :class:`BurstyTraffic`.
+"""
+
+from repro.apps.crystal_router import crystal_router_trace
+from repro.apps.fill_boundary import fill_boundary_trace
+from repro.apps.amg import amg_trace
+from repro.apps.synthetic import BurstyTraffic, UniformRandomTraffic
+from repro.apps.synthetic_patterns import (
+    alltoall_trace,
+    stencil3d_trace,
+    transpose_trace,
+    uniform_traffic_trace,
+)
+from repro.apps.patterns import grid_dims_3d, neighbors_3d, pair_jitter
+
+__all__ = [
+    "crystal_router_trace",
+    "fill_boundary_trace",
+    "amg_trace",
+    "UniformRandomTraffic",
+    "BurstyTraffic",
+    "uniform_traffic_trace",
+    "stencil3d_trace",
+    "transpose_trace",
+    "alltoall_trace",
+    "grid_dims_3d",
+    "neighbors_3d",
+    "pair_jitter",
+    "APP_BUILDERS",
+]
+
+#: Registry used by the CLI and the experiment drivers.
+APP_BUILDERS = {
+    "CR": crystal_router_trace,
+    "FB": fill_boundary_trace,
+    "AMG": amg_trace,
+    "UNIFORM": uniform_traffic_trace,
+    "ST3D": stencil3d_trace,
+    "TRANSPOSE": transpose_trace,
+    "A2A": alltoall_trace,
+}

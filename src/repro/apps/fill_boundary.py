@@ -1,0 +1,114 @@
+"""Fill Boundary (FB) trace generator.
+
+The FB mini-app fills periodic domain boundaries and ghost cells in
+BoxLib (paper Section III-A): a 3D block domain decomposition with
+"intensive communication between neighbors as well as many-to-many
+communication across the set of MPI ranks", continuously sending
+messages whose sizes fluctuate strongly between 100 KB and 2560 KB.
+
+Per step, the generator does a 6-neighbour periodic halo exchange at a
+size driven by a strongly fluctuating multiplier cycle, plus a sparse
+many-to-many phase built from ``far_rounds`` random perfect matchings
+(symmetric by construction, so the trace stays balanced).
+"""
+
+from __future__ import annotations
+
+from repro.apps.patterns import grid_dims_3d, neighbors_3d, pair_jitter
+from repro.engine.rng import rng_stream
+from repro.mpi.trace import JobTrace, RankTrace
+
+__all__ = ["fill_boundary_trace", "DEFAULT_FLUCTUATION"]
+
+#: Multiplier cycle giving the paper's 100 KB - 2560 KB swing around the
+#: default 1280 KB base (0.08 * 1280 KB = 102 KB ... 2.0 * 1280 KB = 2560 KB).
+DEFAULT_FLUCTUATION = (0.08, 1.0, 0.3, 2.0, 0.15, 0.6)
+
+
+def fill_boundary_trace(
+    num_ranks: int,
+    steps: int = 6,
+    base_bytes: int = 1_280_000,
+    far_rounds: int = 2,
+    far_fraction: float = 0.02,
+    fluctuation: tuple[float, ...] = DEFAULT_FLUCTUATION,
+    seed: int = 0,
+) -> JobTrace:
+    """Build the FB job trace.
+
+    ``base_bytes`` scales every message; halo messages swing through
+    ``fluctuation`` multiples of it over the steps. ``far_rounds`` perfect
+    matchings per step carry the many-to-many share at ``far_fraction``
+    of the halo size.
+    """
+    if num_ranks < 2:
+        raise ValueError("FB needs at least 2 ranks")
+    if steps < 1:
+        raise ValueError("need at least one step")
+    if not fluctuation:
+        raise ValueError("fluctuation cycle must be non-empty")
+    if not 0 <= far_rounds <= 6:
+        raise ValueError("far_rounds must be in [0, 6] (tag-space layout)")
+
+    dims = grid_dims_3d(num_ranks)
+    ranks = [RankTrace(r) for r in range(num_ranks)]
+    neighbor_lists = [
+        neighbors_3d(r, dims, periodic=True) for r in range(num_ranks)
+    ]
+    profile: list[tuple[str, float]] = []
+    rng = rng_stream(seed, "fb", "matchings")
+
+    for step in range(steps):
+        mult = fluctuation[step % len(fluctuation)]
+        halo_bytes = max(1, round(base_bytes * mult))
+
+        # Halo phase: periodic 3D face neighbours.
+        for rt in ranks:
+            me = rt.rank
+            req = 0
+            for peer in neighbor_lists[me]:
+                size = round(
+                    halo_bytes
+                    * pair_jitter(seed, "fb-halo", step, min(me, peer), max(me, peer))
+                )
+                tag = step * 8
+                rt.irecv(peer, size, tag, req=req)
+                rt.isend(peer, size, tag, req=req + 1)
+                req += 2
+            rt.waitall()
+        mean_neighbors = sum(len(nl) for nl in neighbor_lists) / num_ranks
+        profile.append((f"step{step}/halo", mean_neighbors * halo_bytes))
+
+        # Many-to-many phase: `far_rounds` random perfect matchings.
+        far_bytes = max(1, round(halo_bytes * far_fraction))
+        for rnd in range(far_rounds):
+            perm = rng.permutation(num_ranks)
+            tag = step * 8 + 1 + rnd
+            for i in range(0, num_ranks - 1, 2):
+                a, b = int(perm[i]), int(perm[i + 1])
+                size = round(
+                    far_bytes * pair_jitter(seed, "fb-far", step, rnd, min(a, b), max(a, b))
+                )
+                for me, peer in ((a, b), (b, a)):
+                    rt = ranks[me]
+                    rt.irecv(peer, size, tag, req=0)
+                    rt.isend(peer, size, tag, req=1)
+            for rt in ranks:
+                rt.waitall()
+        profile.append((f"step{step}/far", far_rounds * far_bytes))
+
+        for rt in ranks:
+            rt.barrier()
+
+    return JobTrace(
+        "FB",
+        ranks,
+        meta={
+            "app": "fill-boundary",
+            "dims": list(dims),
+            "steps": steps,
+            "base_bytes": base_bytes,
+            "phase_profile": profile,
+            "seed": seed,
+        },
+    )

@@ -1,0 +1,103 @@
+"""Shared communication-pattern helpers for the app generators."""
+
+from __future__ import annotations
+
+import zlib
+
+__all__ = [
+    "grid_dims_3d",
+    "coord_3d",
+    "rank_3d",
+    "neighbors_3d",
+    "pair_jitter",
+]
+
+
+def grid_dims_3d(n: int) -> tuple[int, int, int]:
+    """Near-cubic factorisation ``px * py * pz == n`` with px >= py >= pz.
+
+    Minimises the surface-to-volume ratio of the decomposition, matching
+    how BoxLib/BoomerAMG-style codes pick process grids.
+    """
+    if n < 1:
+        raise ValueError("need a positive rank count")
+    best = (n, 1, 1)
+    best_score = _surface(best)
+    px = 1
+    while px * px * px <= n:
+        if n % px == 0:
+            rem = n // px
+            py = px
+            while py * py <= rem:
+                if rem % py == 0:
+                    dims = tuple(sorted((px, py, rem // py), reverse=True))
+                    score = _surface(dims)
+                    if score < best_score:
+                        best, best_score = dims, score
+                py += 1
+        px += 1
+    return best  # type: ignore[return-value]
+
+
+def _surface(dims: tuple[int, int, int]) -> int:
+    a, b, c = dims
+    return a * b + b * c + a * c
+
+
+def coord_3d(rank: int, dims: tuple[int, int, int]) -> tuple[int, int, int]:
+    """Rank -> (x, y, z) in an x-fastest layout."""
+    px, py, _ = dims
+    x = rank % px
+    y = (rank // px) % py
+    z = rank // (px * py)
+    return x, y, z
+
+
+def rank_3d(coord: tuple[int, int, int], dims: tuple[int, int, int]) -> int:
+    """(x, y, z) -> rank in an x-fastest layout."""
+    px, py, _ = dims
+    x, y, z = coord
+    return x + px * (y + py * z)
+
+
+def neighbors_3d(
+    rank: int,
+    dims: tuple[int, int, int],
+    periodic: bool,
+    stride: int = 1,
+) -> list[int]:
+    """Face neighbours at ``stride`` steps in a 3D decomposition.
+
+    ``periodic=True`` wraps (FB's periodic domain boundaries);
+    ``periodic=False`` drops out-of-range neighbours (AMG's "up to six
+    neighbors, depending on rank boundaries"). Result is sorted and
+    deduplicated (wrapping can make both directions coincide).
+    """
+    coords = coord_3d(rank, dims)
+    out: set[int] = set()
+    for axis in range(3):
+        extent = dims[axis]
+        for delta in (-stride, stride):
+            pos = coords[axis] + delta
+            if periodic:
+                pos %= extent
+            elif not 0 <= pos < extent:
+                continue
+            neighbor = list(coords)
+            neighbor[axis] = pos
+            peer = rank_3d(tuple(neighbor), dims)
+            if peer != rank:
+                out.add(peer)
+    return sorted(out)
+
+
+def pair_jitter(seed: int, *key: object, lo: float = 0.9, hi: float = 1.1) -> float:
+    """Deterministic multiplicative jitter shared by both endpoints.
+
+    Message sizes on the two sides of an exchange must agree, so the
+    jitter is derived from the (order-independent) key rather than from
+    per-rank RNG streams. CRC32-based: stable across runs and platforms.
+    """
+    text = "/".join(str(k) for k in key)
+    u = zlib.crc32(f"{seed}:{text}".encode()) / 0xFFFFFFFF
+    return lo + (hi - lo) * u

@@ -1,0 +1,160 @@
+"""Synthetic background traffic (paper Section IV-C).
+
+To simulate a multijob environment, a synthetic job occupies every node
+not assigned to the target application and repeatedly issues messages:
+
+* :class:`UniformRandomTraffic` — each node sends a message to a random
+  peer of the synthetic job every ``interval_ns`` (balanced external
+  load; the paper uses small intervals, 0.002-1 ms);
+* :class:`BurstyTraffic` — every (large) ``interval_ns``, each node
+  sends large messages to ``fanout`` peers at once (the paper's
+  "huge messages to all other nodes at a predefined interval").
+
+Injectors bypass the MPI replay layer: their messages go straight onto
+the fabric (delivery needs no matching). They stop scheduling once the
+simulation's stop condition halts the event loop, so the background runs
+exactly as long as the target application.
+
+``peak_load_bytes`` reproduces Table II: "the total message load among
+all the ranks at a specific time interval".
+"""
+
+from __future__ import annotations
+
+from repro.engine.rng import rng_stream
+from repro.engine.simulator import Simulator
+from repro.network.fabric import Fabric
+from repro.network.packet import Message
+
+__all__ = ["UniformRandomTraffic", "BurstyTraffic", "BACKGROUND_JOB_ID"]
+
+#: Job id stamped on background messages (distinct from replay jobs).
+BACKGROUND_JOB_ID = -1
+
+
+class _TrafficBase:
+    """Shared timer/injection machinery for background generators."""
+
+    def __init__(
+        self,
+        nodes: list[int],
+        message_bytes: int,
+        interval_ns: float,
+        seed: int = 0,
+        start_ns: float = 0.0,
+    ) -> None:
+        if len(nodes) < 2:
+            raise ValueError("background traffic needs at least 2 nodes")
+        if message_bytes < 1:
+            raise ValueError("message_bytes must be positive")
+        if interval_ns <= 0:
+            raise ValueError("interval_ns must be positive")
+        self.nodes = list(nodes)
+        self.message_bytes = message_bytes
+        self.interval_ns = interval_ns
+        self.start_ns = start_ns
+        self._rng = rng_stream(seed, "background", type(self).__name__)
+        self._sim: Simulator | None = None
+        self._fabric: Fabric | None = None
+        self._msg_id = 0
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def start(self, sim: Simulator, fabric: Fabric) -> None:
+        """Begin injecting (called by the replay engine)."""
+        self._sim = sim
+        self._fabric = fabric
+        # Stagger node phases uniformly over one interval so the
+        # "uniform" pattern is not a synchronised pulse.
+        offsets = self._rng.uniform(0.0, self.interval_ns, size=len(self.nodes))
+        for idx in range(len(self.nodes)):
+            sim.at(self.start_ns + float(offsets[idx]), self._tick, idx)
+
+    def _send(self, src: int, dst: int, size: int) -> None:
+        assert self._fabric is not None
+        self._msg_id += 1
+        msg = Message(
+            self._msg_id,
+            src,
+            dst,
+            size,
+            tag=0,
+            src_rank=src,
+            dst_rank=dst,
+            job=BACKGROUND_JOB_ID,
+        )
+        self._fabric.inject(msg)
+        self.messages_sent += 1
+        self.bytes_sent += size
+
+    def _tick(self, idx: int) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _reschedule(self, idx: int) -> None:
+        assert self._sim is not None
+        self._sim.schedule(self.interval_ns, self._tick, idx)
+
+    def peak_load_bytes(self) -> int:  # pragma: no cover - overridden
+        """Table II: total load issued by all ranks per interval."""
+        raise NotImplementedError
+
+
+class UniformRandomTraffic(_TrafficBase):
+    """Every interval, each node sends one message to a random peer."""
+
+    def _tick(self, idx: int) -> None:
+        src = self.nodes[idx]
+        peer_idx = int(self._rng.integers(len(self.nodes) - 1))
+        if peer_idx >= idx:
+            peer_idx += 1
+        self._send(src, self.nodes[peer_idx], self.message_bytes)
+        self._reschedule(idx)
+
+    def peak_load_bytes(self) -> int:
+        return len(self.nodes) * self.message_bytes
+
+
+class BurstyTraffic(_TrafficBase):
+    """Every interval, each node blasts ``fanout`` peers at once."""
+
+    def __init__(
+        self,
+        nodes: list[int],
+        message_bytes: int,
+        interval_ns: float,
+        fanout: int | None = None,
+        seed: int = 0,
+        start_ns: float = 0.0,
+    ) -> None:
+        super().__init__(nodes, message_bytes, interval_ns, seed, start_ns)
+        max_fanout = len(self.nodes) - 1
+        self.fanout = max_fanout if fanout is None else min(fanout, max_fanout)
+        if self.fanout < 1:
+            raise ValueError("fanout must be at least 1")
+
+    def start(self, sim: Simulator, fabric: Fabric) -> None:
+        """Synchronised pulses: every node blasts at the same instants.
+
+        Unlike the uniform pattern (which staggers node phases), bursts
+        are the paper's 'all ranks issue messages at a predefined
+        interval' — the simultaneous load spike is the phenomenon.
+        """
+        self._sim = sim
+        self._fabric = fabric
+        for idx in range(len(self.nodes)):
+            sim.at(self.start_ns, self._tick, idx)
+
+    def _tick(self, idx: int) -> None:
+        src = self.nodes[idx]
+        n = len(self.nodes)
+        if self.fanout == n - 1:
+            peers = [self.nodes[i] for i in range(n) if i != idx]
+        else:
+            picks = self._rng.choice(n - 1, size=self.fanout, replace=False)
+            peers = [self.nodes[int(p) + 1 if p >= idx else int(p)] for p in picks]
+        for dst in peers:
+            self._send(src, dst, self.message_bytes)
+        self._reschedule(idx)
+
+    def peak_load_bytes(self) -> int:
+        return len(self.nodes) * self.fanout * self.message_bytes

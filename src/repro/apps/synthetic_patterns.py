@@ -1,0 +1,144 @@
+"""Classic synthetic application patterns as replayable job traces.
+
+The dragonfly literature the paper builds on (Jain et al., Prisacari et
+al., the authors' own prior study) evaluates placement/routing with
+canonical synthetic patterns. These generators produce the same
+patterns as *jobs* (balanced traces with real matching semantics), so
+they compose with every driver in :mod:`repro.core` — unlike the
+fire-and-forget background injectors in :mod:`repro.apps.synthetic`.
+
+* :func:`uniform_traffic_trace` — each rank sends to uniformly random
+  peers (via per-round random perfect matchings, so the trace stays
+  balanced); the classic benign-for-minimal, adversarial-for-local
+  pattern.
+* :func:`stencil3d_trace` — pure 3D nearest-neighbour halo (FB without
+  its many-to-many phase); maximal locality.
+* :func:`transpose_trace` — rank i sends to (i + N/2) mod N; the
+  classic adversarial pattern for minimal routing on dragonflies (all
+  traffic crosses the bisection).
+* :func:`alltoall_trace` — dense pairwise exchange (e.g. FFT phases).
+"""
+
+from __future__ import annotations
+
+from repro.apps.patterns import grid_dims_3d, neighbors_3d, pair_jitter
+from repro.engine.rng import rng_stream
+from repro.mpi import collectives
+from repro.mpi.trace import JobTrace, RankTrace
+
+__all__ = [
+    "uniform_traffic_trace",
+    "stencil3d_trace",
+    "transpose_trace",
+    "alltoall_trace",
+]
+
+
+def uniform_traffic_trace(
+    num_ranks: int,
+    rounds: int = 8,
+    message_bytes: int = 65_536,
+    seed: int = 0,
+) -> JobTrace:
+    """Uniform random traffic via random perfect matchings per round."""
+    if num_ranks < 2:
+        raise ValueError("need at least 2 ranks")
+    if rounds < 1:
+        raise ValueError("need at least one round")
+    ranks = [RankTrace(r) for r in range(num_ranks)]
+    rng = rng_stream(seed, "uniform-app")
+    profile = []
+    for rnd in range(rounds):
+        perm = rng.permutation(num_ranks)
+        for i in range(0, num_ranks - 1, 2):
+            a, b = int(perm[i]), int(perm[i + 1])
+            size = round(
+                message_bytes * pair_jitter(seed, "uni", rnd, min(a, b), max(a, b))
+            )
+            for me, peer in ((a, b), (b, a)):
+                ranks[me].irecv(peer, size, tag=rnd, req=0)
+                ranks[me].isend(peer, size, tag=rnd, req=1)
+        for rt in ranks:
+            rt.waitall()
+        profile.append((f"round{rnd}", float(message_bytes)))
+    return JobTrace(
+        "UNIFORM",
+        ranks,
+        meta={"app": "uniform-traffic", "phase_profile": profile, "seed": seed},
+    )
+
+
+def stencil3d_trace(
+    num_ranks: int,
+    steps: int = 4,
+    halo_bytes: int = 131_072,
+    periodic: bool = True,
+    seed: int = 0,
+) -> JobTrace:
+    """Pure 3D halo exchange (6 face neighbours per step)."""
+    if num_ranks < 2:
+        raise ValueError("need at least 2 ranks")
+    dims = grid_dims_3d(num_ranks)
+    ranks = [RankTrace(r) for r in range(num_ranks)]
+    neighbor_lists = [
+        neighbors_3d(r, dims, periodic=periodic) for r in range(num_ranks)
+    ]
+    for step in range(steps):
+        for rt in ranks:
+            req = 0
+            for peer in neighbor_lists[rt.rank]:
+                size = round(
+                    halo_bytes
+                    * pair_jitter(
+                        seed, "st3d", step, min(rt.rank, peer), max(rt.rank, peer)
+                    )
+                )
+                rt.irecv(peer, size, tag=step, req=req)
+                rt.isend(peer, size, tag=step, req=req + 1)
+                req += 2
+            rt.waitall()
+    return JobTrace(
+        "ST3D",
+        ranks,
+        meta={"app": "stencil3d", "dims": list(dims), "seed": seed},
+    )
+
+
+def transpose_trace(
+    num_ranks: int,
+    rounds: int = 4,
+    message_bytes: int = 262_144,
+    seed: int = 0,
+) -> JobTrace:
+    """Shift-by-N/2 transpose: every message crosses the bisection."""
+    if num_ranks < 2 or num_ranks % 2:
+        raise ValueError("transpose needs an even rank count >= 2")
+    half = num_ranks // 2
+    ranks = [RankTrace(r) for r in range(num_ranks)]
+    for rnd in range(rounds):
+        for rt in ranks:
+            peer = (rt.rank + half) % num_ranks
+            size = round(
+                message_bytes
+                * pair_jitter(seed, "tr", rnd, min(rt.rank, peer), max(rt.rank, peer))
+            )
+            rt.irecv(peer, size, tag=rnd, req=0)
+            rt.isend(peer, size, tag=rnd, req=1)
+            rt.waitall()
+    return JobTrace("TRANSPOSE", ranks, meta={"app": "transpose", "seed": seed})
+
+
+def alltoall_trace(
+    num_ranks: int,
+    rounds: int = 1,
+    message_bytes: int = 16_384,
+    seed: int = 0,
+) -> JobTrace:
+    """Dense pairwise all-to-all (FFT-style global exchange)."""
+    if num_ranks < 2:
+        raise ValueError("need at least 2 ranks")
+    ranks = [RankTrace(r) for r in range(num_ranks)]
+    for rnd in range(rounds):
+        for rt in ranks:
+            collectives.alltoall(rt, num_ranks, message_bytes, tag=rnd * 512)
+    return JobTrace("A2A", ranks, meta={"app": "alltoall", "seed": seed})

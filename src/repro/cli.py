@@ -1,0 +1,233 @@
+"""Command-line interface: ``dragonfly-tradeoff <command>``.
+
+Commands mirror the paper's three analysis steps plus utilities:
+
+* ``study``        — Section IV-A grid for one app (Figures 3-6 data)
+* ``sensitivity``  — Section IV-B message-size sweep (Figure 7 data)
+* ``interference`` — Section IV-C background-traffic study (Figures 8-10)
+* ``replay``       — replay a repro-dumpi trace file
+* ``characterize`` — print an app's communication matrix summary (Fig 2)
+* ``nomenclature`` — print Table I
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import config as cfg
+from repro.apps import APP_BUILDERS
+from repro.core.interference import BackgroundSpec, interference_study
+from repro.core.report import (
+    format_box_table,
+    format_cdf_table,
+    format_series_table,
+    key_findings,
+    nomenclature_table,
+)
+from repro.core.sensitivity import PAPER_SCALES, sensitivity_sweep
+from repro.core.study import TradeoffStudy
+from repro.core.runner import run_single
+from repro.mpi.dumpi import load_trace
+
+__all__ = ["main"]
+
+_PRESETS = {
+    "theta": cfg.theta,
+    "medium": cfg.medium,
+    "small": cfg.small,
+    "tiny": cfg.tiny,
+}
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--preset",
+        choices=sorted(_PRESETS),
+        default="small",
+        help="machine preset (default: small)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--ranks", type=int, default=64, help="application rank count"
+    )
+    p.add_argument(
+        "--msg-scale",
+        type=float,
+        default=0.05,
+        help="scale applied to the paper's full-size message loads "
+        "(keep small on small presets)",
+    )
+
+
+def _build_trace(args):
+    """Build the requested app trace at the CLI's rank count and scale."""
+    builder = APP_BUILDERS[args.app]
+    trace = builder(num_ranks=args.ranks, seed=args.seed)
+    if args.msg_scale != 1.0:
+        trace = trace.scaled(args.msg_scale)
+    return trace
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="dragonfly-tradeoff",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_study = sub.add_parser("study", help="placement x routing grid")
+    p_study.add_argument("app", choices=sorted(APP_BUILDERS))
+    _add_common(p_study)
+
+    p_sens = sub.add_parser("sensitivity", help="message-size sweep")
+    p_sens.add_argument("app", choices=sorted(APP_BUILDERS))
+    _add_common(p_sens)
+
+    p_intf = sub.add_parser("interference", help="background-traffic study")
+    p_intf.add_argument("app", choices=sorted(APP_BUILDERS))
+    p_intf.add_argument(
+        "--pattern", choices=("uniform", "bursty"), default="uniform"
+    )
+    p_intf.add_argument("--bg-bytes", type=int, default=4096)
+    p_intf.add_argument("--bg-interval-us", type=float, default=5.0)
+    p_intf.add_argument("--bg-fanout", type=int, default=None)
+    _add_common(p_intf)
+
+    p_replay = sub.add_parser("replay", help="replay a repro-dumpi trace file")
+    p_replay.add_argument("trace_file")
+    p_replay.add_argument("--placement", default="cont")
+    p_replay.add_argument("--routing", default="min")
+    _add_common(p_replay)
+
+    p_char = sub.add_parser("characterize", help="trace characterisation")
+    p_char.add_argument("app", choices=sorted(APP_BUILDERS))
+    _add_common(p_char)
+
+    p_adv = sub.add_parser(
+        "advise", help="recommend a placement/routing configuration"
+    )
+    p_adv.add_argument("app", choices=sorted(APP_BUILDERS))
+    p_adv.add_argument(
+        "--shared", action="store_true", help="network shared with other jobs"
+    )
+    p_adv.add_argument(
+        "--bursty",
+        action="store_true",
+        help="bursty external traffic expected (implies --shared)",
+    )
+    _add_common(p_adv)
+
+    sub.add_parser("nomenclature", help="print Table I")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "nomenclature":
+        print(nomenclature_table())
+        return 0
+
+    config = _PRESETS[args.preset]().with_seed(args.seed)
+
+    if args.command == "study":
+        trace = _build_trace(args)
+        result = TradeoffStudy(config, {args.app: trace}, seed=args.seed).run(
+            verbose=True
+        )
+        print()
+        print(
+            format_box_table(
+                result.comm_time_boxes(args.app),
+                f"{args.app} communication time (Figure 3)",
+            )
+        )
+        print()
+        print(
+            format_cdf_table(
+                result.traffic_cdf(args.app, "local"),
+                f"{args.app} local channel traffic (Figures 4-6)",
+                "MB",
+            )
+        )
+        findings = key_findings(result)[args.app]
+        print(f"\nbest configuration: {findings['best']}")
+        return 0
+
+    if args.command == "sensitivity":
+        trace = _build_trace(args)
+        scales = PAPER_SCALES[args.app]
+        sens = sensitivity_sweep(config, trace, scales, seed=args.seed)
+        rel = sens.relative()
+        print(
+            format_series_table(
+                sens.scales,
+                rel,
+                f"{args.app} max comm time relative to rand-adp, % (Figure 7)",
+            )
+        )
+        return 0
+
+    if args.command == "interference":
+        trace = _build_trace(args)
+        spec = BackgroundSpec(
+            pattern=args.pattern,
+            message_bytes=args.bg_bytes,
+            interval_ns=args.bg_interval_us * 1000.0,
+            fanout=args.bg_fanout,
+        )
+        result = interference_study(config, trace, spec, seed=args.seed)
+        print(
+            format_box_table(
+                result.comm_time_boxes(args.app),
+                f"{args.app} comm time under {args.pattern} background "
+                "(Figures 8-10)",
+            )
+        )
+        return 0
+
+    if args.command == "replay":
+        trace = load_trace(args.trace_file)
+        result = run_single(
+            config, trace, args.placement, args.routing, seed=args.seed
+        )
+        s = result.metrics.summary()
+        for k, v in s.items():
+            print(f"{k:>18}: {v:.4f}")
+        return 0
+
+    if args.command == "advise":
+        from repro.core.advisor import recommend
+
+        trace = _build_trace(args)
+        rec = recommend(
+            trace,
+            config,
+            shared_network=args.shared or args.bursty,
+            bursty_neighbors=args.bursty,
+        )
+        print(f"{args.app}: use {rec.label}")
+        print(f"  offered rate: {rec.intensity:.4f}x of one local link")
+        for reason in rec.rationale:
+            print(f"  - {reason}")
+        return 0
+
+    if args.command == "characterize":
+        trace = _build_trace(args)
+        mat = trace.communication_matrix()
+        nz = mat[mat > 0]
+        print(f"{args.app}: {trace.num_ranks} ranks")
+        print(f"  messages:          {trace.num_messages()}")
+        print(f"  total bytes:       {trace.total_bytes():,}")
+        print(f"  avg load per rank: {trace.avg_message_load_per_rank():,.0f} B")
+        print(f"  partner pairs:     {int((mat > 0).sum())}")
+        if nz.size:
+            print(f"  pair bytes min/med/max: {nz.min():,} / "
+                  f"{int(float(sorted(nz)[len(nz) // 2])):,} / {nz.max():,}")
+        return 0
+
+    parser.error(f"unhandled command {args.command}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

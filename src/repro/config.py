@@ -1,0 +1,230 @@
+"""Configuration dataclasses and presets for the dragonfly trade-off study.
+
+All simulation times are expressed in **nanoseconds** and all sizes in
+**bytes**. Bandwidths are stored as bytes/ns (1 GiB/s == 2**30 / 1e9
+bytes/ns) so that ``size / bandwidth`` directly yields a duration.
+
+The default parameter values mirror the Theta Cray XC40 configuration used
+in the paper (Section II): 9 groups of 96 Aries routers arranged in a 6x16
+grid, 4 nodes per router, 16 GiB/s terminal links, 5.25 GiB/s local links,
+4.69 GiB/s global links, and 8/8/16 KiB virtual-channel buffers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+__all__ = [
+    "GIB_PER_SEC",
+    "DragonflyParams",
+    "NetworkParams",
+    "SimulationConfig",
+    "theta",
+    "medium",
+    "small",
+    "tiny",
+]
+
+#: Multiplier converting GiB/s into bytes per nanosecond.
+GIB_PER_SEC = (2**30) / 1e9
+
+
+@dataclass(frozen=True)
+class DragonflyParams:
+    """Geometry of a two-tier (Cray Cascade style) dragonfly network.
+
+    A machine has ``groups`` groups. Each group is a ``rows x cols`` grid
+    of routers whose rows and columns are each all-to-all connected by
+    local links. Each row of routers forms a *chassis* and
+    ``chassis_per_cabinet`` consecutive chassis form a *cabinet* (on Theta
+    a chassis is a row of 16 routers and a cabinet is 3 chassis).
+
+    Every unordered pair of groups is joined by ``global_links_per_pair``
+    bidirectional global links whose endpoints are spread deterministically
+    over the routers of each group.
+    """
+
+    groups: int = 9
+    rows: int = 6
+    cols: int = 16
+    nodes_per_router: int = 4
+    chassis_per_cabinet: int = 3
+    global_links_per_pair: int = 24
+
+    def __post_init__(self) -> None:
+        if self.groups < 2:
+            raise ValueError("a dragonfly needs at least 2 groups")
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("router grid must be at least 1x1")
+        if self.nodes_per_router < 1:
+            raise ValueError("need at least one node per router")
+        if self.chassis_per_cabinet < 1:
+            raise ValueError("chassis_per_cabinet must be positive")
+        if self.rows % self.chassis_per_cabinet != 0:
+            raise ValueError(
+                "rows must be a multiple of chassis_per_cabinet so cabinets "
+                "tile the group exactly"
+            )
+        if self.global_links_per_pair < 1:
+            raise ValueError("groups must be connected by at least one link")
+
+    @property
+    def routers_per_group(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def num_routers(self) -> int:
+        return self.groups * self.routers_per_group
+
+    @property
+    def num_nodes(self) -> int:
+        return self.num_routers * self.nodes_per_router
+
+    @property
+    def nodes_per_chassis(self) -> int:
+        return self.cols * self.nodes_per_router
+
+    @property
+    def nodes_per_cabinet(self) -> int:
+        return self.nodes_per_chassis * self.chassis_per_cabinet
+
+    @property
+    def nodes_per_group(self) -> int:
+        return self.routers_per_group * self.nodes_per_router
+
+    @property
+    def chassis_per_group(self) -> int:
+        return self.rows
+
+    @property
+    def cabinets_per_group(self) -> int:
+        return self.rows // self.chassis_per_cabinet
+
+    @property
+    def num_chassis(self) -> int:
+        return self.groups * self.chassis_per_group
+
+    @property
+    def num_cabinets(self) -> int:
+        return self.groups * self.cabinets_per_group
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Link bandwidths, latencies, buffering, and packetisation.
+
+    ``*_bw`` values are bytes/ns. Buffer sizes are the per-virtual-channel
+    downstream buffer capacity of each link class; a packet may only start
+    crossing a link once the target VC buffer has room for the whole packet
+    (store-and-forward with credit-based backpressure).
+    """
+
+    terminal_bw: float = 16.0 * GIB_PER_SEC
+    local_bw: float = 5.25 * GIB_PER_SEC
+    global_bw: float = 4.69 * GIB_PER_SEC
+    terminal_latency_ns: float = 50.0
+    local_latency_ns: float = 50.0
+    global_latency_ns: float = 300.0
+    node_vc_buffer: int = 8 * 1024
+    local_vc_buffer: int = 8 * 1024
+    global_vc_buffer: int = 16 * 1024
+    packet_size: int = 2048
+    num_vcs: int = 8
+    router_delay_ns: float = 50.0
+    #: "vct" (virtual cut-through, the default — matches flit-level
+    #: simulators like CODES: a packet's header moves on after one hop
+    #: latency, so end-to-end latency is roughly one serialisation plus
+    #: per-hop latencies) or "store_forward" (the packet is fully
+    #: received before moving on — every hop pays full serialisation).
+    switching: str = "vct"
+
+    def __post_init__(self) -> None:
+        if self.switching not in ("vct", "store_forward"):
+            raise ValueError(
+                f"switching must be 'vct' or 'store_forward', "
+                f"got {self.switching!r}"
+            )
+        for name in ("terminal_bw", "local_bw", "global_bw"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        for name in (
+            "terminal_latency_ns",
+            "local_latency_ns",
+            "global_latency_ns",
+            "router_delay_ns",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.packet_size <= 0:
+            raise ValueError("packet_size must be positive")
+        smallest = min(
+            self.node_vc_buffer, self.local_vc_buffer, self.global_vc_buffer
+        )
+        if self.packet_size > smallest:
+            raise ValueError(
+                "packet_size must fit in the smallest VC buffer "
+                f"({self.packet_size} > {smallest})"
+            )
+        if self.num_vcs < 1:
+            raise ValueError("need at least one virtual channel")
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Complete configuration for one simulation run."""
+
+    topology: DragonflyParams = dataclasses.field(default_factory=DragonflyParams)
+    network: NetworkParams = dataclasses.field(default_factory=NetworkParams)
+    seed: int = 0
+
+    def with_seed(self, seed: int) -> "SimulationConfig":
+        return dataclasses.replace(self, seed=seed)
+
+
+def theta() -> SimulationConfig:
+    """Full-scale Theta configuration from the paper (3,456 nodes)."""
+    return SimulationConfig()
+
+
+def medium() -> SimulationConfig:
+    """A 432-node dragonfly preserving Theta's shape at reduced scale.
+
+    9 groups of 4x6 routers with 2 nodes each; cabinets of 2 chassis.
+    Suitable for running the full experiment grid in minutes.
+    """
+    topo = DragonflyParams(
+        groups=9,
+        rows=4,
+        cols=6,
+        nodes_per_router=2,
+        chassis_per_cabinet=2,
+        global_links_per_pair=6,
+    )
+    return SimulationConfig(topology=topo)
+
+
+def small() -> SimulationConfig:
+    """An 80-node dragonfly for quick experiments and benchmarks."""
+    topo = DragonflyParams(
+        groups=5,
+        rows=2,
+        cols=4,
+        nodes_per_router=2,
+        chassis_per_cabinet=2,
+        global_links_per_pair=4,
+    )
+    return SimulationConfig(topology=topo)
+
+
+def tiny() -> SimulationConfig:
+    """A 24-node dragonfly for unit tests."""
+    topo = DragonflyParams(
+        groups=3,
+        rows=2,
+        cols=2,
+        nodes_per_router=2,
+        chassis_per_cabinet=1,
+        global_links_per_pair=2,
+    )
+    return SimulationConfig(topology=topo)

@@ -1,0 +1,138 @@
+"""Paper-style text rendering of study results.
+
+Everything the benchmark harness prints flows through here so that the
+rows/series match the tables and figures of the paper one-to-one.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.metrics.analysis import BoxStats
+from repro.placement.policies import PLACEMENT_NAMES
+from repro.routing import ROUTING_NAMES
+
+__all__ = [
+    "config_label",
+    "nomenclature_table",
+    "format_box_table",
+    "format_cdf_table",
+    "format_series_table",
+    "key_findings",
+]
+
+_PLACEMENT_LONG = {
+    "cont": "Contiguous",
+    "cab": "Random-cabinet",
+    "chas": "Random-chassis",
+    "rotr": "Random-router",
+    "rand": "Random-node",
+}
+_ROUTING_LONG = {"min": "Minimal Routing", "adp": "Adaptive Routing"}
+
+
+def config_label(placement: str, routing: str) -> str:
+    """Table-I nomenclature, e.g. ``cont-min``."""
+    return f"{placement}-{routing}"
+
+
+def nomenclature_table() -> str:
+    """Render Table I (nomenclature of placement/routing configs)."""
+    lines = [
+        "Table I: Nomenclature of Placement and Routing Configurations",
+        f"{'Placement Policy':<18} {'Minimal Routing':<16} {'Adaptive Routing':<16}",
+    ]
+    for p in PLACEMENT_NAMES:
+        row = f"{_PLACEMENT_LONG[p]:<18}"
+        for r in ROUTING_NAMES:
+            row += f" {config_label(p, r):<16}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_box_table(
+    boxes: Mapping[str, BoxStats], title: str, unit: str = "ms"
+) -> str:
+    """Render Figure-3 style box data as a table (one row per config)."""
+    lines = [
+        title,
+        f"{'config':<10} {'min':>10} {'q1':>10} {'median':>10} {'q3':>10} {'max':>10}  ({unit})",
+    ]
+    for label, b in boxes.items():
+        lines.append(
+            f"{label:<10} {b.minimum:>10.4f} {b.q1:>10.4f} {b.median:>10.4f} "
+            f"{b.q3:>10.4f} {b.maximum:>10.4f}"
+        )
+    return "\n".join(lines)
+
+
+def format_cdf_table(
+    curves: Mapping[str, tuple],
+    title: str,
+    unit: str,
+    percentiles: Sequence[float] = (50, 75, 90, 95, 99, 100),
+) -> str:
+    """Summarise CDF curves (Figures 4-6) at fixed channel percentiles.
+
+    Each row gives, per config, the value below which the given
+    percentage of channels fall — a faithful text rendering of the
+    paper's "percentage of channels vs amount" plots.
+    """
+    header = f"{'config':<10}" + "".join(f" p{int(p):<3}{'':>6}" for p in percentiles)
+    lines = [f"{title} (values in {unit})", header]
+    for label, (x, pct) in curves.items():
+        if len(x) == 0:
+            lines.append(f"{label:<10} (no channels)")
+            continue
+        row = f"{label:<10}"
+        for p in percentiles:
+            idx = np.searchsorted(pct, p, side="left")
+            idx = min(idx, len(x) - 1)
+            row += f" {x[idx]:>9.4f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_series_table(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    title: str,
+    x_name: str = "scale",
+    fmt: str = "9.2f",
+) -> str:
+    """Render Figure-7 style series: one row per x, one column per config."""
+    labels = list(series)
+    header = f"{x_name:<8}" + "".join(f" {label:>10}" for label in labels)
+    lines = [title, header]
+    for i, x in enumerate(xs):
+        row = f"{x:<8g}"
+        for label in labels:
+            row += f" {series[label][i]:>10.2f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def key_findings(study_result) -> dict[str, dict[str, float]]:
+    """Extract the paper's Section IV-A headline comparisons per app.
+
+    For every application: the best configuration, the improvement of
+    random-node over contiguous placement (same best routing), and the
+    improvement of the app's preferred routing under its preferred
+    placement.
+    """
+    out: dict[str, dict[str, float]] = {}
+    for app in study_result.apps:
+        best = study_result.best_label(app)
+        placement, routing = best.rsplit("-", 1)
+        out[app] = {
+            "best": best,
+            "rand_vs_cont_pct": study_result.improvement_pct(
+                app, f"rand-{routing}", f"cont-{routing}"
+            ),
+            "cont_vs_rand_pct": study_result.improvement_pct(
+                app, f"cont-{routing}", f"rand-{routing}"
+            ),
+        }
+    return out

@@ -1,0 +1,107 @@
+"""The Section IV-B sensitivity study: varying communication intensity.
+
+The paper scales every message of CR and FB from 1% to 2x of the
+original size, and AMG from 50% to 20x, and compares the *maximum
+communication time among all ranks* of the four extreme configurations
+(cont/rand x min/adp), normalised to ``rand-adp`` at the same scale
+(Figure 7).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import SimulationConfig
+from repro.core.runner import run_single
+from repro.mpi.trace import JobTrace
+
+__all__ = ["sensitivity_sweep", "SensitivityResult", "PAPER_SCALES"]
+
+#: The paper's message-scale grids per application.
+PAPER_SCALES = {
+    "CR": (0.01, 0.1, 0.3, 0.5, 1.0, 1.5, 2.0),
+    "FB": (0.01, 0.1, 0.3, 0.5, 1.0, 1.5, 2.0),
+    "AMG": (0.5, 1.0, 2.0, 5.0, 10.0, 20.0),
+}
+
+#: The four extreme configurations the paper sweeps.
+EXTREME_CONFIGS = (
+    ("cont", "min"),
+    ("rand", "min"),
+    ("cont", "adp"),
+    ("rand", "adp"),
+)
+
+
+class SensitivityResult:
+    """Max-comm-time series per configuration over message scales."""
+
+    def __init__(
+        self,
+        app: str,
+        scales: tuple[float, ...],
+        max_comm_ns: dict[str, np.ndarray],
+        baseline: str,
+    ) -> None:
+        self.app = app
+        self.scales = scales
+        self.max_comm_ns = max_comm_ns
+        self.baseline = baseline
+
+    def labels(self) -> list[str]:
+        return list(self.max_comm_ns)
+
+    def relative(self) -> dict[str, np.ndarray]:
+        """Figure 7's y-axis: max comm time as % of the baseline config."""
+        base = self.max_comm_ns[self.baseline]
+        return {
+            label: 100.0 * series / base
+            for label, series in self.max_comm_ns.items()
+        }
+
+    def to_rows(self) -> list[tuple]:
+        """(scale, {label: relative %}) rows for reports."""
+        rel = self.relative()
+        rows = []
+        for i, s in enumerate(self.scales):
+            rows.append((s, {label: float(rel[label][i]) for label in rel}))
+        return rows
+
+
+def sensitivity_sweep(
+    config: SimulationConfig,
+    trace: JobTrace,
+    scales: Sequence[float],
+    configs: Sequence[tuple[str, str]] = EXTREME_CONFIGS,
+    baseline: tuple[str, str] = ("rand", "adp"),
+    seed: int = 0,
+    compute_scale: float = 0.0,
+) -> SensitivityResult:
+    """Run the message-size sweep for one application."""
+    if not scales:
+        raise ValueError("need at least one scale")
+    if tuple(baseline) not in {tuple(c) for c in configs}:
+        raise ValueError("baseline configuration must be in the swept set")
+
+    series: dict[str, list[float]] = {f"{p}-{r}": [] for p, r in configs}
+    for scale in scales:
+        scaled = trace.scaled(scale)
+        for placement, routing in configs:
+            result = run_single(
+                config,
+                scaled,
+                placement,
+                routing,
+                seed=seed,
+                compute_scale=compute_scale,
+            )
+            series[f"{placement}-{routing}"].append(result.metrics.max_comm_time_ns)
+
+    return SensitivityResult(
+        trace.name,
+        tuple(scales),
+        {k: np.asarray(v) for k, v in series.items()},
+        baseline=f"{baseline[0]}-{baseline[1]}",
+    )

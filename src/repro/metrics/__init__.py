@@ -1,0 +1,28 @@
+"""Evaluation metrics (paper Section III-E).
+
+* **Communication time** — per-rank time completing all message
+  exchanging operations (from the replay engine).
+* **Average hops** — per-rank mean router-to-router hops of its packets.
+* **Network traffic** — bytes through the local and global channels of
+  the routers serving the job's nodes.
+* **Link saturation time** — accumulated time a channel was stalled with
+  queued packets but exhausted downstream buffers.
+"""
+
+from repro.metrics.collector import RunMetrics
+from repro.metrics.analysis import (
+    BoxStats,
+    box_stats,
+    cdf,
+    load_timeline,
+    percent_improvement,
+)
+
+__all__ = [
+    "RunMetrics",
+    "BoxStats",
+    "box_stats",
+    "cdf",
+    "load_timeline",
+    "percent_improvement",
+]

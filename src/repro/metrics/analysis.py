@@ -1,0 +1,99 @@
+"""Statistical helpers reproducing the paper's plot data.
+
+The paper presents channel traffic and saturation as "percentage of
+channels vs. amount" CDFs (Figures 4-6, 8-10), communication times as
+five-number box plots (Figure 3), and message load over time as a
+per-rank average timeline (Figure 2 bottom row).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Sequence
+
+import numpy as np
+
+__all__ = [
+    "cdf",
+    "BoxStats",
+    "box_stats",
+    "load_timeline",
+    "percent_improvement",
+]
+
+
+def cdf(values: Sequence[float] | np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF as plotted in the paper.
+
+    Returns ``(x, pct)`` where ``pct[i]`` is the percentage of values
+    that are <= ``x[i]``; x is sorted ascending. Empty input yields two
+    empty arrays.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return np.array([]), np.array([])
+    x = np.sort(arr)
+    pct = 100.0 * np.arange(1, x.size + 1) / x.size
+    return x, pct
+
+
+class BoxStats(NamedTuple):
+    """The five data points of each Figure-3 box."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+
+    @classmethod
+    def empty(cls) -> "BoxStats":
+        return cls(float("nan"), float("nan"), float("nan"), float("nan"), float("nan"))
+
+    def scaled(self, factor: float) -> "BoxStats":
+        return BoxStats(*(v * factor for v in self))
+
+
+def box_stats(values: Sequence[float] | np.ndarray) -> BoxStats:
+    """Five-number summary (min, Q1, median, Q3, max)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return BoxStats.empty()
+    q = np.percentile(arr, [0, 25, 50, 75, 100])
+    return BoxStats(*map(float, q))
+
+
+def load_timeline(
+    send_events: Sequence[tuple[float, int, int]],
+    num_ranks: int,
+    num_bins: int = 50,
+    t_end: float | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Average message load per rank over time (Figure 2 bottom row).
+
+    ``send_events`` is the replay engine's ``(time_ns, rank, bytes)``
+    record. Returns ``(bin_centers_ns, bytes_per_rank)``.
+    """
+    if num_ranks < 1:
+        raise ValueError("num_ranks must be positive")
+    if num_bins < 1:
+        raise ValueError("num_bins must be positive")
+    if not send_events:
+        return np.array([]), np.array([])
+    times = np.asarray([e[0] for e in send_events], dtype=np.float64)
+    sizes = np.asarray([e[2] for e in send_events], dtype=np.float64)
+    end = t_end if t_end is not None else float(times.max()) + 1.0
+    edges = np.linspace(0.0, end, num_bins + 1)
+    totals, _ = np.histogram(times, bins=edges, weights=sizes)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    return centers, totals / num_ranks
+
+
+def percent_improvement(baseline: float, improved: float) -> float:
+    """How much smaller ``improved`` is than ``baseline``, in percent.
+
+    Matches the paper's phrasing "X% improvement in communication time
+    compared with Y": positive when ``improved < baseline``.
+    """
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return 100.0 * (baseline - improved) / baseline

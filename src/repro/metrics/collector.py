@@ -1,0 +1,112 @@
+"""Per-run metric extraction.
+
+Channel-level metrics follow the paper's Figure 8 caption: "the traffic
+distribution on local and global channels of the routers that serve the
+nodes assigned to the target application" — i.e. the outgoing local and
+global links of the job's routers, whether or not the job itself sent the
+bytes (so background interference shows up, Section IV-C).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mpi.replay import JobResult
+from repro.network.fabric import Fabric
+from repro.topology.dragonfly import Dragonfly
+from repro.topology.links import LinkKind
+
+__all__ = ["RunMetrics"]
+
+
+class RunMetrics:
+    """Network + communication metrics for one simulated run."""
+
+    def __init__(
+        self,
+        comm_time_ns: np.ndarray,
+        avg_hops: np.ndarray,
+        local_traffic_bytes: np.ndarray,
+        global_traffic_bytes: np.ndarray,
+        local_sat_ns: np.ndarray,
+        global_sat_ns: np.ndarray,
+    ) -> None:
+        self.comm_time_ns = comm_time_ns
+        self.avg_hops = avg_hops
+        self.local_traffic_bytes = local_traffic_bytes
+        self.global_traffic_bytes = global_traffic_bytes
+        self.local_sat_ns = local_sat_ns
+        self.global_sat_ns = global_sat_ns
+
+    @classmethod
+    def from_run(
+        cls,
+        fabric: Fabric,
+        topo: Dragonfly,
+        job: JobResult,
+        nodes: list[int],
+    ) -> "RunMetrics":
+        """Extract metrics for the job placed on ``nodes``."""
+        routers = np.unique([topo.router_of(n) for n in nodes])
+        kind = topo.links.kind
+        src = topo.links.src
+        assert kind is not None and src is not None
+
+        bytes_tx = np.asarray(fabric.bytes_tx, dtype=np.int64)
+        sat_ns = np.asarray(fabric.sat_ns, dtype=np.float64)
+
+        serving = np.isin(src, routers)
+        local_mask = (
+            (kind == LinkKind.LOCAL_ROW) | (kind == LinkKind.LOCAL_COL)
+        ) & serving
+        global_mask = (kind == LinkKind.GLOBAL) & serving
+
+        return cls(
+            comm_time_ns=job.comm_time_ns.copy(),
+            avg_hops=job.avg_hops.copy(),
+            local_traffic_bytes=bytes_tx[local_mask],
+            global_traffic_bytes=bytes_tx[global_mask],
+            local_sat_ns=sat_ns[local_mask],
+            global_sat_ns=sat_ns[global_mask],
+        )
+
+    # convenience aggregates ------------------------------------------
+    @property
+    def max_comm_time_ns(self) -> float:
+        return float(self.comm_time_ns.max())
+
+    @property
+    def median_comm_time_ns(self) -> float:
+        return float(np.median(self.comm_time_ns))
+
+    @property
+    def mean_hops(self) -> float:
+        return float(self.avg_hops.mean())
+
+    @property
+    def total_local_traffic(self) -> int:
+        return int(self.local_traffic_bytes.sum())
+
+    @property
+    def total_global_traffic(self) -> int:
+        return int(self.global_traffic_bytes.sum())
+
+    @property
+    def total_local_sat_ns(self) -> float:
+        return float(self.local_sat_ns.sum())
+
+    @property
+    def total_global_sat_ns(self) -> float:
+        return float(self.global_sat_ns.sum())
+
+    def summary(self) -> dict[str, float]:
+        """Flat scalar summary (used by reports and tests)."""
+        return {
+            "max_comm_ms": self.max_comm_time_ns / 1e6,
+            "median_comm_ms": self.median_comm_time_ns / 1e6,
+            "mean_hops": self.mean_hops,
+            "local_traffic_mb": self.total_local_traffic / 1e6,
+            "global_traffic_mb": self.total_global_traffic / 1e6,
+            "local_sat_ms": self.total_local_sat_ns / 1e6,
+            "global_sat_ms": self.total_global_sat_ns / 1e6,
+        }

@@ -1,0 +1,55 @@
+"""MPI trace substrate (paper Section III-A).
+
+The paper replays DUMPI traces of DOE Design Forward mini-apps through
+CODES. This package provides the equivalent machinery built from scratch:
+
+* :mod:`repro.mpi.ops` — the operation vocabulary (send/recv families,
+  waits, barrier, compute);
+* :mod:`repro.mpi.trace` — per-rank and per-job trace containers with
+  characterisation helpers (communication matrix, load profiles);
+* :mod:`repro.mpi.collectives` — point-to-point expansions of common
+  collectives, used by the application generators;
+* :mod:`repro.mpi.dumpi` — a DUMPI-flavoured ASCII trace format with
+  writer and parser, so externally exported traces can be replayed;
+* :mod:`repro.mpi.replay` — the replay engine: drives rank state
+  machines over the packet fabric with eager-protocol matching.
+"""
+
+from repro.mpi.ops import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Barrier,
+    Compute,
+    Irecv,
+    Isend,
+    Recv,
+    Send,
+    Wait,
+    WaitAll,
+    Op,
+)
+from repro.mpi.trace import JobTrace, RankTrace
+from repro.mpi.dumpi import load_trace, save_trace, parse_trace, format_trace
+from repro.mpi.replay import ReplayEngine, RankResult
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Barrier",
+    "Compute",
+    "Irecv",
+    "Isend",
+    "Recv",
+    "Send",
+    "Wait",
+    "WaitAll",
+    "Op",
+    "JobTrace",
+    "RankTrace",
+    "load_trace",
+    "save_trace",
+    "parse_trace",
+    "format_trace",
+    "ReplayEngine",
+    "RankResult",
+]

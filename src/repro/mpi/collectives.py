@@ -1,0 +1,133 @@
+"""Point-to-point expansions of common collectives.
+
+The DOE mini-apps the paper replays implement their communication with
+point-to-point operations (crystal router is itself a hand-rolled
+many-to-many), so the generators build on these expansions rather than on
+opaque collective ops. Each function *appends* the per-rank operation
+sequence for one collective to an existing :class:`RankTrace`, using a
+caller-supplied tag space so adjacent collectives cannot cross-match.
+
+All expansions are classic algorithms:
+
+* ``alltoall`` — linear pairwise exchange with XOR partner ordering
+  (congestion-friendly: every round is a perfect matching when the rank
+  count is a power of two);
+* ``allreduce`` — recursive doubling on the power-of-two subset, with
+  fold-in/fold-out steps for stragglers;
+* ``allgather_ring`` — ring algorithm, num_ranks-1 rounds;
+* ``bcast_binomial`` — binomial tree from the root.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.trace import RankTrace
+
+__all__ = [
+    "alltoall",
+    "allreduce",
+    "allgather_ring",
+    "bcast_binomial",
+    "sendrecv",
+]
+
+
+def sendrecv(
+    trace: RankTrace, peer: int, size: int, tag: int, req_base: int = 0
+) -> None:
+    """Symmetric non-blocking exchange with ``peer`` followed by waitall."""
+    if peer == trace.rank:
+        return
+    trace.irecv(peer, size, tag, req=req_base)
+    trace.isend(peer, size, tag, req=req_base + 1)
+    trace.waitall()
+
+
+def alltoall(trace: RankTrace, num_ranks: int, size: int, tag: int) -> None:
+    """Pairwise-exchange all-to-all of ``size`` bytes per rank pair."""
+    me = trace.rank
+    rounds = _next_pow2(num_ranks)
+    for r in range(1, rounds):
+        peer = me ^ r
+        if peer < num_ranks:
+            trace.irecv(peer, size, tag + r, req=2 * r)
+            trace.isend(peer, size, tag + r, req=2 * r + 1)
+    trace.waitall()
+
+
+def allreduce(trace: RankTrace, num_ranks: int, size: int, tag: int) -> None:
+    """Recursive-doubling allreduce (message size constant per round)."""
+    me = trace.rank
+    pof2 = _prev_pow2(num_ranks)
+    rem = num_ranks - pof2
+    # Fold ranks beyond the power-of-two boundary into their partners.
+    if me < 2 * rem:
+        if me % 2 == 1:
+            trace.send(me - 1, size, tag)
+        else:
+            trace.recv(me + 1, size, tag)
+    if me < 2 * rem and me % 2 == 1:
+        new_rank = -1  # folded out of the doubling phase
+    else:
+        new_rank = me // 2 if me < 2 * rem else me - rem
+    if new_rank >= 0:
+        mask = 1
+        while mask < pof2:
+            partner = new_rank ^ mask
+            peer = partner * 2 if partner < rem else partner + rem
+            trace.irecv(peer, size, tag + mask, req=0)
+            trace.isend(peer, size, tag + mask, req=1)
+            trace.waitall()
+            mask <<= 1
+    # Unfold: partners return the result.
+    if me < 2 * rem:
+        if me % 2 == 1:
+            trace.recv(me - 1, size, tag + pof2)
+        else:
+            trace.send(me + 1, size, tag + pof2)
+
+
+def allgather_ring(trace: RankTrace, num_ranks: int, size: int, tag: int) -> None:
+    """Ring allgather: num_ranks-1 rounds of shift-by-one exchanges."""
+    if num_ranks < 2:
+        return
+    me = trace.rank
+    right = (me + 1) % num_ranks
+    left = (me - 1) % num_ranks
+    for r in range(num_ranks - 1):
+        trace.irecv(left, size, tag + r, req=0)
+        trace.isend(right, size, tag + r, req=1)
+        trace.waitall()
+
+
+def bcast_binomial(
+    trace: RankTrace, num_ranks: int, size: int, tag: int, root: int = 0
+) -> None:
+    """Binomial-tree broadcast from ``root``."""
+    me = (trace.rank - root) % num_ranks
+    mask = 1
+    while mask < num_ranks:
+        if me & mask:
+            src = (me - mask + root) % num_ranks
+            trace.recv(src, size, tag)
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if me + mask < num_ranks:
+            dst = (me + mask + root) % num_ranks
+            trace.send(dst, size, tag)
+        mask >>= 1
+
+
+def _next_pow2(n: int) -> int:
+    p = 1
+    while p < n:
+        p <<= 1
+    return p
+
+
+def _prev_pow2(n: int) -> int:
+    p = 1
+    while p * 2 <= n:
+        p <<= 1
+    return p

@@ -1,0 +1,184 @@
+"""DUMPI-flavoured ASCII trace format.
+
+The paper collects traces with the SST DUMPI toolkit. We cannot ship the
+proprietary DOE trace files, but this module defines an equivalent
+line-oriented text format with a writer and a parser so that externally
+exported traces drop straight into the replay engine (DESIGN.md §4).
+
+Format::
+
+    # repro-dumpi 1
+    job <name>
+    ranks <N>
+    meta <one-line JSON>          # optional
+    rank <i>
+    send <dst> <size> <tag>
+    isend <dst> <size> <tag> <req>
+    recv <src> <size> <tag>
+    irecv <src> <size> <tag> <req>
+    wait <req>
+    waitall
+    barrier
+    compute <duration_ns>
+    endrank
+    ...
+
+Blank lines and ``#`` comments are ignored. Every rank section must
+appear exactly once, in order.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.mpi.ops import (
+    Barrier,
+    Compute,
+    Irecv,
+    Isend,
+    Op,
+    Recv,
+    Send,
+    Wait,
+    WaitAll,
+)
+from repro.mpi.trace import JobTrace, RankTrace
+
+__all__ = ["MAGIC", "format_trace", "parse_trace", "save_trace", "load_trace"]
+
+MAGIC = "# repro-dumpi 1"
+
+
+def format_trace(job: JobTrace) -> str:
+    """Serialise a job trace to the ASCII format."""
+    lines: list[str] = [MAGIC, f"job {job.name}", f"ranks {job.num_ranks}"]
+    if job.meta:
+        lines.append("meta " + json.dumps(job.meta, sort_keys=True))
+    for rt in job.ranks:
+        lines.append(f"rank {rt.rank}")
+        for op in rt.ops:
+            lines.append(_format_op(op))
+        lines.append("endrank")
+    return "\n".join(lines) + "\n"
+
+
+def _format_op(op: Op) -> str:
+    if isinstance(op, Send):
+        return f"send {op.dst} {op.size} {op.tag}"
+    if isinstance(op, Isend):
+        return f"isend {op.dst} {op.size} {op.tag} {op.req}"
+    if isinstance(op, Recv):
+        return f"recv {op.src} {op.size} {op.tag}"
+    if isinstance(op, Irecv):
+        return f"irecv {op.src} {op.size} {op.tag} {op.req}"
+    if isinstance(op, Wait):
+        return f"wait {op.req}"
+    if isinstance(op, WaitAll):
+        return "waitall"
+    if isinstance(op, Barrier):
+        return "barrier"
+    if isinstance(op, Compute):
+        return f"compute {op.duration_ns!r}"  # repr round-trips floats
+    raise TypeError(f"unknown op {op!r}")
+
+
+class TraceParseError(ValueError):
+    """Raised with a line number when the trace text is malformed."""
+
+    def __init__(self, lineno: int, message: str) -> None:
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+def parse_trace(text: str) -> JobTrace:
+    """Parse the ASCII format back into a :class:`JobTrace`."""
+    name: str | None = None
+    num_ranks: int | None = None
+    meta: dict = {}
+    ranks: list[RankTrace] = []
+    current: RankTrace | None = None
+
+    lines = text.splitlines()
+    if not lines or lines[0].strip() != MAGIC:
+        raise TraceParseError(1, f"missing magic header {MAGIC!r}")
+
+    for lineno, raw in enumerate(lines[1:], start=2):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split()
+        kw = fields[0]
+        try:
+            if kw == "job":
+                name = line[len("job ") :].strip()
+            elif kw == "ranks":
+                num_ranks = int(fields[1])
+            elif kw == "meta":
+                meta = json.loads(line[len("meta ") :])
+            elif kw == "rank":
+                if current is not None:
+                    raise TraceParseError(lineno, "nested rank section")
+                rank = int(fields[1])
+                if rank != len(ranks):
+                    raise TraceParseError(
+                        lineno, f"expected rank {len(ranks)}, got {rank}"
+                    )
+                current = RankTrace(rank)
+            elif kw == "endrank":
+                if current is None:
+                    raise TraceParseError(lineno, "endrank outside rank section")
+                ranks.append(current)
+                current = None
+            else:
+                if current is None:
+                    raise TraceParseError(
+                        lineno, f"op {kw!r} outside a rank section"
+                    )
+                current.ops.append(_parse_op(kw, fields, lineno))
+        except (IndexError, ValueError) as exc:
+            if isinstance(exc, TraceParseError):
+                raise
+            raise TraceParseError(lineno, f"malformed line {line!r}") from exc
+
+    if current is not None:
+        raise TraceParseError(len(lines), "unterminated rank section")
+    if name is None or num_ranks is None:
+        raise TraceParseError(1, "missing job/ranks header")
+    if len(ranks) != num_ranks:
+        raise TraceParseError(
+            len(lines), f"header declares {num_ranks} ranks, found {len(ranks)}"
+        )
+    return JobTrace(name, ranks, meta)
+
+
+def _parse_op(kw: str, fields: list[str], lineno: int) -> Op:
+    if kw == "send":
+        return Send(int(fields[1]), int(fields[2]), int(fields[3]))
+    if kw == "isend":
+        return Isend(int(fields[1]), int(fields[2]), int(fields[3]), int(fields[4]))
+    if kw == "recv":
+        return Recv(int(fields[1]), int(fields[2]), int(fields[3]))
+    if kw == "irecv":
+        return Irecv(int(fields[1]), int(fields[2]), int(fields[3]), int(fields[4]))
+    if kw == "wait":
+        return Wait(int(fields[1]))
+    if kw == "waitall":
+        return WaitAll()
+    if kw == "barrier":
+        return Barrier()
+    if kw == "compute":
+        return Compute(float(fields[1]))
+    raise TraceParseError(lineno, f"unknown operation {kw!r}")
+
+
+def save_trace(job: JobTrace, path: str | Path) -> None:
+    """Write a trace file (creating parent directories)."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(format_trace(job))
+
+
+def load_trace(path: str | Path) -> JobTrace:
+    """Read a trace file."""
+    return parse_trace(Path(path).read_text())

@@ -1,0 +1,92 @@
+"""Trace operation vocabulary.
+
+Operations are ``NamedTuple`` records: immutable, compact, fast to
+construct in bulk, and structurally comparable (which makes round-trip
+tests of the trace format trivial). The replay engine dispatches on the
+concrete type.
+
+``Recv``/``Irecv`` accept :data:`ANY_SOURCE` and :data:`ANY_TAG`
+wildcards with MPI's matching semantics.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Union
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Send",
+    "Isend",
+    "Recv",
+    "Irecv",
+    "Wait",
+    "WaitAll",
+    "Barrier",
+    "Compute",
+    "Op",
+]
+
+#: Wildcard source rank for receives.
+ANY_SOURCE = -1
+#: Wildcard message tag for receives.
+ANY_TAG = -1
+
+
+class Send(NamedTuple):
+    """Blocking send: completes when the message has left the NIC."""
+
+    dst: int
+    size: int
+    tag: int = 0
+
+
+class Isend(NamedTuple):
+    """Non-blocking send; ``req`` completes when the NIC is drained."""
+
+    dst: int
+    size: int
+    tag: int = 0
+    req: int = 0
+
+
+class Recv(NamedTuple):
+    """Blocking receive: completes when a matching message has fully
+    arrived at this rank's node."""
+
+    src: int
+    size: int
+    tag: int = 0
+
+
+class Irecv(NamedTuple):
+    """Non-blocking receive; ``req`` completes on matched full arrival."""
+
+    src: int
+    size: int
+    tag: int = 0
+    req: int = 0
+
+
+class Wait(NamedTuple):
+    """Block until request ``req`` (of this rank) has completed."""
+
+    req: int
+
+
+class WaitAll(NamedTuple):
+    """Block until every outstanding request of this rank has completed."""
+
+
+class Barrier(NamedTuple):
+    """Block until every rank of the job has reached its barrier."""
+
+
+class Compute(NamedTuple):
+    """Computation for ``duration_ns``; scaled by the replay engine's
+    ``compute_scale`` (0.0 by default — the paper ignores compute)."""
+
+    duration_ns: float
+
+
+Op = Union[Send, Isend, Recv, Irecv, Wait, WaitAll, Barrier, Compute]

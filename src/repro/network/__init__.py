@@ -1,0 +1,14 @@
+"""Packet-level network model (the CODES substrate, paper Section II).
+
+Messages are packetised and forwarded store-and-forward over the
+dragonfly link fabric with credit-based backpressure: a packet may start
+crossing a link only when the link serialiser is free *and* the downstream
+virtual-channel buffer can hold the whole packet. The VC index of every
+router-to-router hop equals the hop's position on the route, which strictly
+increases, making the buffer wait-for graph acyclic (deadlock freedom).
+"""
+
+from repro.network.packet import CONTROL_PACKET_BYTES, Message, Packet, packetize
+from repro.network.fabric import Fabric
+
+__all__ = ["CONTROL_PACKET_BYTES", "Message", "Packet", "packetize", "Fabric"]

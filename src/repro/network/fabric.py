@@ -1,0 +1,262 @@
+"""Credit-based packet forwarding over the dragonfly link fabric.
+
+Flow-control model (DESIGN.md §3):
+
+* every directed link has one serialiser (shared by all VCs) and one
+  downstream buffer per virtual channel;
+* a packet may start crossing link ``L`` on VC ``v`` only when ``L``'s
+  serialiser is free and ``L``'s VC-``v`` buffer has room for the whole
+  packet; the packet's claim on its *input* buffer (the previous link's
+  VC buffer) is released at that same instant (zero-latency credit
+  return);
+* the VC index of a router-to-router hop equals the hop's position on the
+  route, which strictly increases along any path — the buffer wait-for
+  graph is therefore acyclic and the network cannot deadlock;
+* per-link *saturation time* accumulates while a link has packets queued
+  and its serialiser idle but no queued packet can obtain downstream
+  buffer space — i.e. the link is stalled purely because buffers along
+  the path are exhausted (the paper's "link has used up all its
+  buffers").
+
+Routing happens when a packet reaches its source router (the hop after
+the terminal-in link), so adaptive decisions observe live congestion.
+
+Hot-path notes: link state lives in plain Python lists (faster item
+access than NumPy for scalar work); per-(link, VC) buffer occupancy is a
+flat ``defaultdict`` keyed by ``link * MAX_VCS + vc``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Callable
+
+from repro.config import NetworkParams
+from repro.engine.simulator import Simulator
+from repro.network.packet import Message, Packet, packetize
+from repro.routing.base import RoutingPolicy
+from repro.topology.dragonfly import Dragonfly
+
+__all__ = ["Fabric", "MAX_VCS"]
+
+#: Upper bound on VCs per link, used to flatten (link, vc) keys.
+MAX_VCS = 16
+
+
+class Fabric:
+    """The simulated network: topology + flow control + routing."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topo: Dragonfly,
+        net: NetworkParams,
+        routing: RoutingPolicy,
+    ) -> None:
+        if net.num_vcs > MAX_VCS:
+            raise ValueError(f"num_vcs may not exceed {MAX_VCS}")
+        self.sim = sim
+        self.topo = topo
+        self.net = net
+        self.routing = routing
+        self._cut_through = net.switching == "vct"
+
+        n_links = topo.num_links
+        bw, lat, buf = topo.link_profiles(net)
+        # Plain lists: scalar indexing is the hot path.
+        self.bw: list[float] = bw.tolist()
+        self.lat: list[float] = (lat + net.router_delay_ns).tolist()
+        self.buf: list[int] = buf.tolist()
+
+        self.busy_until: list[float] = [0.0] * n_links
+        self.queued_bytes: list[int] = [0] * n_links
+        self._waitq: list[dict[int, deque[Packet]]] = [dict() for _ in range(n_links)]
+        self._wait_count: list[int] = [0] * n_links
+        self._rr_next: list[int] = [0] * n_links
+        self._blocked_since: list[float] = [-1.0] * n_links
+        self._buf_used: defaultdict[int, int] = defaultdict(int)
+
+        #: Per-link transmitted bytes (the paper's "network traffic").
+        self.bytes_tx: list[int] = [0] * n_links
+        #: Per-link accumulated saturation time in ns.
+        self.sat_ns: list[float] = [0.0] * n_links
+
+        self.packets_delivered = 0
+        self.messages_delivered = 0
+        self.bytes_injected = 0
+        self.bytes_delivered = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def inject(self, msg: Message) -> None:
+        """Queue a message at its source NIC at the current sim time."""
+        msg.inject_time = self.sim.now
+        first_link = self.topo.terminal_in(msg.src_node)
+        for pkt in packetize(msg, self.net.packet_size, first_link):
+            self.bytes_injected += pkt.size
+            self._enqueue(pkt, first_link)
+
+    def drain_saturation(self) -> None:
+        """Close out still-open blocked intervals at the current time.
+
+        Call once after the simulation stops so links that were stalled
+        when the workload completed contribute their final interval.
+        """
+        now = self.sim.now
+        blocked = self._blocked_since
+        sat = self.sat_ns
+        for lid, since in enumerate(blocked):
+            if since >= 0.0:
+                sat[lid] += now - since
+                blocked[lid] = now  # keep open in case the sim resumes
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _vc_of(pkt: Packet, hop: int) -> int:
+        """VC used on route[hop]: terminals use 0, hop h uses h-1."""
+        if hop == 0 or hop == len(pkt.route) - 1:
+            return 0
+        return hop - 1
+
+    def _enqueue(self, pkt: Packet, link: int) -> None:
+        vc = self._vc_of(pkt, pkt.hop)
+        q = self._waitq[link].get(vc)
+        if q is None:
+            q = self._waitq[link][vc] = deque()
+        q.append(pkt)
+        self._wait_count[link] += 1
+        self.queued_bytes[link] += pkt.size
+        self._try_transmit(link)
+
+    def _try_transmit(self, link: int) -> None:
+        if self._wait_count[link] == 0:
+            return
+        now = self.sim.now
+        if self.busy_until[link] > now:
+            return
+
+        waitq = self._waitq[link]
+        cap = self.buf[link]
+        buf_used = self._buf_used
+        base = link * MAX_VCS
+
+        # Round-robin VC arbitration: first VC (>= the pointer, cyclic)
+        # whose head packet fits in its downstream buffer wins. Links
+        # with a single active VC (all terminal links, most others) take
+        # the allocation-free fast path.
+        chosen_vc = -1
+        pkt: Packet | None = None
+        if len(waitq) == 1:
+            vc, q = next(iter(waitq.items()))
+            if not q:
+                return
+            head = q[0]
+            if buf_used[base + vc] + head.size <= cap:
+                chosen_vc = vc
+                pkt = head
+        else:
+            start = self._rr_next[link]
+            ranked = [
+                ((vc - start) % MAX_VCS, vc, q) for vc, q in waitq.items() if q
+            ]
+            if not ranked:
+                return
+            ranked.sort()
+            for _, vc, q in ranked:
+                head = q[0]
+                if buf_used[base + vc] + head.size <= cap:
+                    chosen_vc = vc
+                    pkt = head
+                    break
+
+        if pkt is None:
+            # Stalled on credits alone: open a saturation interval.
+            if self._blocked_since[link] < 0.0:
+                self._blocked_since[link] = now
+            return
+
+        if self._blocked_since[link] >= 0.0:
+            self.sat_ns[link] += now - self._blocked_since[link]
+            self._blocked_since[link] = -1.0
+
+        waitq[chosen_vc].popleft()
+        self._wait_count[link] -= 1
+        self._rr_next[link] = chosen_vc + 1
+        self.queued_bytes[link] -= pkt.size
+
+        hop = pkt.hop
+        if hop > 0:
+            # Credit return: release the input buffer and kick upstream.
+            prev = pkt.route[hop - 1]
+            pvc = self._vc_of(pkt, hop - 1)
+            buf_used[prev * MAX_VCS + pvc] -= pkt.size
+            self._try_transmit(prev)
+
+        buf_used[base + self._vc_of(pkt, hop)] += pkt.size
+        duration = pkt.size / self.bw[link]
+        end = now + duration
+        lat = self.lat[link]
+        if self._cut_through:
+            # Virtual cut-through: the transmission cannot *finish*
+            # before the packet's tail has streamed in from upstream,
+            # but its header moves on after just the hop latency.
+            if pkt.tail_time > end:
+                end = pkt.tail_time
+            route = pkt.route
+            is_final = len(route) > 1 and hop == len(route) - 1
+            arrival = end + lat if is_final else now + lat
+        else:
+            arrival = end + lat
+        pkt.tail_time = end + lat
+        self.busy_until[link] = end
+        self.bytes_tx[link] += pkt.size
+        self.sim.at(end, self._tx_done, link)
+        self.sim.at(arrival, self._arrive, pkt)
+        if hop == 0 and pkt.last:
+            self.sim.at(end, self._notify_injected, pkt.msg)
+
+    def _tx_done(self, link: int) -> None:
+        self._try_transmit(link)
+
+    def _notify_injected(self, msg: Message) -> None:
+        msg.injected_time = self.sim.now
+        if msg.on_injected is not None:
+            msg.on_injected(msg, self.sim.now)
+
+    def _arrive(self, pkt: Packet) -> None:
+        pkt.hop += 1
+        route = pkt.route
+        msg = pkt.msg
+
+        if pkt.hop == 1 and len(route) == 1:
+            # At the source router: let the routing policy fill in the rest.
+            src_router = self.topo.router_of(msg.src_node)
+            rest = self.routing.route(self, src_router, msg.dst_node, pkt.size)
+            rr_hops = len(rest) - 1
+            if rr_hops > self.net.num_vcs:
+                raise RuntimeError(
+                    f"route needs {rr_hops} VCs but only "
+                    f"{self.net.num_vcs} configured"
+                )
+            route.extend(rest)
+
+        if pkt.hop == len(route):
+            # Crossed the terminal-out link: the node consumed the packet.
+            last = route[-1]
+            self._buf_used[last * MAX_VCS] -= pkt.size
+            self._try_transmit(last)
+            self.packets_delivered += 1
+            self.bytes_delivered += pkt.size
+            msg.arrived_bytes += pkt.size
+            msg.hop_sum += len(route) - 2
+            if msg.arrived_bytes >= msg.wire_size:
+                msg.delivered_time = self.sim.now
+                self.messages_delivered += 1
+                if msg.on_delivered is not None:
+                    msg.on_delivered(msg, self.sim.now)
+            return
+
+        self._enqueue(pkt, route[pkt.hop])

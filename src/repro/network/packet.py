@@ -1,0 +1,149 @@
+"""Messages and packets.
+
+A :class:`Message` is the unit the MPI replay layer thinks in; the fabric
+splits it into :class:`Packet` chunks no larger than the configured packet
+size. Zero-byte messages (pure synchronisation) still cost one
+``CONTROL_PACKET_BYTES`` header packet on the wire.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["CONTROL_PACKET_BYTES", "Message", "Packet", "packetize"]
+
+#: Wire size charged for a zero-payload (control) message.
+CONTROL_PACKET_BYTES = 64
+
+
+class Message:
+    """One application-level message in flight.
+
+    The fabric fills in timing fields as the message progresses:
+    ``inject_time`` when it is queued at the source NIC, ``injected_time``
+    when its last packet has left the NIC, ``delivered_time`` when its
+    last byte arrives at the destination node.
+    """
+
+    __slots__ = (
+        "msg_id",
+        "src_node",
+        "dst_node",
+        "size",
+        "tag",
+        "src_rank",
+        "dst_rank",
+        "job",
+        "inject_time",
+        "injected_time",
+        "delivered_time",
+        "arrived_bytes",
+        "hop_sum",
+        "num_packets",
+        "on_injected",
+        "on_delivered",
+        "protocol",
+        "ref",
+    )
+
+    def __init__(
+        self,
+        msg_id: int,
+        src_node: int,
+        dst_node: int,
+        size: int,
+        tag: int = 0,
+        src_rank: int = -1,
+        dst_rank: int = -1,
+        job: int = 0,
+    ) -> None:
+        if size < 0:
+            raise ValueError("message size must be non-negative")
+        if src_node == dst_node:
+            raise ValueError("self-sends never reach the network fabric")
+        self.msg_id = msg_id
+        self.src_node = src_node
+        self.dst_node = dst_node
+        self.size = size
+        self.tag = tag
+        self.src_rank = src_rank
+        self.dst_rank = dst_rank
+        self.job = job
+        self.inject_time: float = -1.0
+        self.injected_time: float = -1.0
+        self.delivered_time: float = -1.0
+        self.arrived_bytes: int = 0
+        self.hop_sum: int = 0
+        self.num_packets: int = 0
+        self.on_injected: Callable[["Message", float], None] | None = None
+        self.on_delivered: Callable[["Message", float], None] | None = None
+        #: Wire role: "eager" data, or the rendezvous handshake's
+        #: "rts" / "cts" control messages and "data" payload.
+        self.protocol: str = "eager"
+        #: Opaque protocol state attached by the replay engine.
+        self.ref = None
+
+    @property
+    def wire_size(self) -> int:
+        """Bytes actually put on the wire (at least one control packet)."""
+        return self.size if self.size > 0 else CONTROL_PACKET_BYTES
+
+    @property
+    def avg_hops(self) -> float:
+        """Mean router-to-router hops over this message's packets."""
+        if self.num_packets == 0:
+            return 0.0
+        return self.hop_sum / self.num_packets
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message(id={self.msg_id}, {self.src_node}->{self.dst_node}, "
+            f"size={self.size}, tag={self.tag})"
+        )
+
+
+class Packet:
+    """One wire-level chunk of a message.
+
+    ``route`` is the ordered list of link ids the packet will traverse,
+    beginning with the source terminal link. The remainder of the route is
+    chosen by the routing policy when the packet reaches the source router
+    (so adaptive decisions see up-to-date congestion). ``hop`` indexes the
+    link currently being (or about to be) traversed.
+    """
+
+    __slots__ = ("msg", "size", "route", "hop", "last", "tail_time")
+
+    def __init__(self, msg: Message, size: int, first_link: int, last: bool) -> None:
+        self.msg = msg
+        self.size = size
+        self.route: list[int] = [first_link]
+        self.hop = 0
+        self.last = last
+        #: When the packet's last byte arrived at its current position
+        #: (drives the cut-through constraint: a downstream transmission
+        #: cannot finish before the tail has caught up).
+        self.tail_time = 0.0
+
+    @property
+    def rr_hops(self) -> int:
+        """Router-to-router links on the (completed) route."""
+        return len(self.route) - 2 if len(self.route) >= 2 else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet(msg={self.msg.msg_id}, size={self.size}, "
+            f"hop={self.hop}/{len(self.route)})"
+        )
+
+
+def packetize(msg: Message, packet_size: int, first_link: int) -> list[Packet]:
+    """Split a message into packets of at most ``packet_size`` bytes."""
+    total = msg.wire_size
+    packets: list[Packet] = []
+    full, rem = divmod(total, packet_size)
+    sizes = [packet_size] * full + ([rem] if rem else [])
+    for i, size in enumerate(sizes):
+        packets.append(Packet(msg, size, first_link, last=i == len(sizes) - 1))
+    msg.num_packets = len(packets)
+    return packets

@@ -1,0 +1,31 @@
+"""Job placement policies (paper Section III-B).
+
+Five policies spanning the locality spectrum, from fully localized
+(``contiguous``) to fully spread (``random-node``), with cabinet,
+chassis, and router granularities in between. Table I short names:
+``cont``, ``cab``, ``chas``, ``rotr``, ``rand``.
+"""
+
+from repro.placement.machine import Machine
+from repro.placement.policies import (
+    PLACEMENT_NAMES,
+    ContiguousPlacement,
+    PlacementPolicy,
+    RandomCabinetPlacement,
+    RandomChassisPlacement,
+    RandomNodePlacement,
+    RandomRouterPlacement,
+    make_placement,
+)
+
+__all__ = [
+    "Machine",
+    "PlacementPolicy",
+    "ContiguousPlacement",
+    "RandomCabinetPlacement",
+    "RandomChassisPlacement",
+    "RandomRouterPlacement",
+    "RandomNodePlacement",
+    "make_placement",
+    "PLACEMENT_NAMES",
+]

@@ -1,0 +1,76 @@
+"""Allocation bookkeeping for a dragonfly machine.
+
+Tracks which nodes are free and hands out allocations through a
+placement policy; the remainder (used for the paper's synthetic
+background job, which "occupies all the nodes in the system that are not
+assigned to the target application") is available via
+:meth:`Machine.free_nodes`.
+"""
+
+from __future__ import annotations
+
+from repro.config import DragonflyParams
+from repro.engine.rng import rng_stream
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """Node inventory of one dragonfly system."""
+
+    def __init__(self, params: DragonflyParams) -> None:
+        self.params = params
+        self._free: set[int] = set(range(params.num_nodes))
+
+    @property
+    def num_nodes(self) -> int:
+        return self.params.num_nodes
+
+    @property
+    def num_free(self) -> int:
+        return len(self._free)
+
+    def free_nodes(self) -> list[int]:
+        """Free nodes in natural (locality-preserving) order."""
+        return sorted(self._free)
+
+    def allocate(self, policy, num_nodes: int, seed: int = 0) -> list[int]:
+        """Allocate ``num_nodes`` through ``policy`` (name or instance).
+
+        The returned list order defines the rank-to-node mapping (rank i
+        runs on the i-th node).
+        """
+        from repro.placement.policies import PlacementPolicy, make_placement
+
+        if isinstance(policy, str):
+            policy = make_placement(policy)
+        if not isinstance(policy, PlacementPolicy):
+            raise TypeError(f"not a placement policy: {policy!r}")
+        if num_nodes < 1:
+            raise ValueError("must allocate at least one node")
+        if num_nodes > len(self._free):
+            raise ValueError(
+                f"requested {num_nodes} nodes but only {len(self._free)} free"
+            )
+        rng = rng_stream(seed, "placement", policy.name)
+        nodes = policy.select(self.params, self.free_nodes(), num_nodes, rng)
+        if len(nodes) != num_nodes or len(set(nodes)) != num_nodes:
+            raise AssertionError(
+                f"policy {policy.name} returned an invalid allocation"
+            )
+        missing = set(nodes) - self._free
+        if missing:
+            raise AssertionError(
+                f"policy {policy.name} allocated non-free nodes {sorted(missing)[:5]}"
+            )
+        self._free.difference_update(nodes)
+        return nodes
+
+    def release(self, nodes: list[int]) -> None:
+        """Return an allocation to the free pool."""
+        for n in nodes:
+            if n in self._free:
+                raise ValueError(f"node {n} is already free")
+            if not 0 <= n < self.params.num_nodes:
+                raise ValueError(f"node {n} out of range")
+        self._free.update(nodes)

@@ -1,0 +1,156 @@
+"""The five placement policies of the paper (Section III-B).
+
+Each policy selects ``n`` nodes from the machine's free pool:
+
+* **Contiguous** (``cont``) — consecutive free nodes in natural order;
+  minimum router count, maximum locality, maximum local-link contention.
+* **Random-cabinet** (``cab``) — cabinets in random order, nodes within a
+  cabinet contiguous.
+* **Random-chassis** (``chas``) — chassis in random order, contiguous
+  inside.
+* **Random-router** (``rotr``) — routers in random order, the nodes of a
+  router contiguous.
+* **Random-node** (``rand``) — a uniformly random selection of nodes;
+  maximum traffic balance, maximum hop count.
+
+Policies are pure: they never mutate the free list (the
+:class:`~repro.placement.machine.Machine` owns allocation state).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.config import DragonflyParams
+from repro.topology.geometry import node_cabinet, node_chassis, node_router
+
+__all__ = [
+    "PlacementPolicy",
+    "ContiguousPlacement",
+    "RandomCabinetPlacement",
+    "RandomChassisPlacement",
+    "RandomRouterPlacement",
+    "RandomNodePlacement",
+    "make_placement",
+    "PLACEMENT_NAMES",
+]
+
+#: Table I short names, in the paper's column order.
+PLACEMENT_NAMES = ("cont", "cab", "chas", "rotr", "rand")
+
+
+class PlacementPolicy(abc.ABC):
+    """Strategy selecting which free nodes a job receives."""
+
+    #: Table I short name.
+    name: str = "?"
+
+    @abc.abstractmethod
+    def select(
+        self,
+        params: DragonflyParams,
+        free: Sequence[int],
+        n: int,
+        rng: np.random.Generator,
+    ) -> list[int]:
+        """Pick ``n`` distinct nodes from ``free`` (sorted ascending)."""
+
+
+class ContiguousPlacement(PlacementPolicy):
+    """First ``n`` free nodes in natural order."""
+
+    name = "cont"
+
+    def select(self, params, free, n, rng):
+        return list(free[:n])
+
+
+class _GroupedRandomPlacement(PlacementPolicy):
+    """Shared machinery: shuffle containers, fill contiguously inside."""
+
+    def __init__(self, container_of: Callable[[DragonflyParams, int], int]):
+        self._container_of = container_of
+
+    def select(self, params, free, n, rng):
+        buckets: dict[int, list[int]] = {}
+        for node in free:  # `free` is sorted, so buckets stay sorted inside
+            buckets.setdefault(self._container_of(params, node), []).append(node)
+        order = rng.permutation(sorted(buckets))
+        out: list[int] = []
+        for container in order:
+            chunk = buckets[int(container)]
+            take = min(len(chunk), n - len(out))
+            out.extend(chunk[:take])
+            if len(out) == n:
+                break
+        return out
+
+
+class RandomCabinetPlacement(_GroupedRandomPlacement):
+    """Random cabinets, contiguous nodes within each cabinet."""
+
+    name = "cab"
+
+    def __init__(self) -> None:
+        super().__init__(node_cabinet)
+
+
+class RandomChassisPlacement(_GroupedRandomPlacement):
+    """Random chassis, contiguous nodes within each chassis."""
+
+    name = "chas"
+
+    def __init__(self) -> None:
+        super().__init__(node_chassis)
+
+
+class RandomRouterPlacement(_GroupedRandomPlacement):
+    """Random routers, the nodes of each router contiguous."""
+
+    name = "rotr"
+
+    def __init__(self) -> None:
+        super().__init__(node_router)
+
+
+class RandomNodePlacement(PlacementPolicy):
+    """Uniformly random nodes across the whole machine."""
+
+    name = "rand"
+
+    def select(self, params, free, n, rng):
+        picks = rng.permutation(len(free))[:n]
+        free = list(free)
+        return [free[int(i)] for i in picks]
+
+
+_POLICIES: dict[str, type] = {
+    "cont": ContiguousPlacement,
+    "cab": RandomCabinetPlacement,
+    "chas": RandomChassisPlacement,
+    "rotr": RandomRouterPlacement,
+    "rand": RandomNodePlacement,
+}
+
+_ALIASES = {
+    "contiguous": "cont",
+    "random-cabinet": "cab",
+    "random-chassis": "chas",
+    "random-router": "rotr",
+    "random-node": "rand",
+}
+
+
+def make_placement(name: str) -> PlacementPolicy:
+    """Construct a placement policy from its Table-I (or long) name."""
+    key = _ALIASES.get(name, name)
+    cls = _POLICIES.get(key)
+    if cls is None:
+        raise ValueError(
+            f"unknown placement {name!r}; known: {sorted(_POLICIES)} "
+            f"or long forms {sorted(_ALIASES)}"
+        )
+    return cls()

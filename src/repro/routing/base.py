@@ -1,0 +1,51 @@
+"""Routing policy interface.
+
+A policy maps (source router, destination node) to an ordered list of
+link ids: zero or more router-to-router links followed by the
+destination's terminal-out link. The fabric prepends the source
+terminal-in link itself.
+
+Policies receive the live fabric so adaptive schemes can inspect current
+queue occupancy; they must not mutate fabric state.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.network.fabric import Fabric
+
+__all__ = ["RoutingPolicy"]
+
+
+class RoutingPolicy(abc.ABC):
+    """Strategy deciding the path of each packet."""
+
+    #: Short name used in configuration nomenclature ("min" / "adp").
+    name: str = "?"
+
+    @abc.abstractmethod
+    def route(
+        self, fabric: "Fabric", src_router: int, dst_node: int, size: int
+    ) -> list[int]:
+        """Links from ``src_router`` to ``dst_node`` (terminal-out last).
+
+        ``size`` is the packet size in bytes, available to cost models.
+        """
+
+    def path_cost(self, fabric: "Fabric", links: list[int], size: int) -> float:
+        """Estimated traversal time of ``links`` for a ``size``-byte packet.
+
+        Sums, per link, the serialisation backlog already queued on it,
+        this packet's own serialisation time, and the propagation latency.
+        This is the congestion signal used by adaptive routing.
+        """
+        queued = fabric.queued_bytes
+        bw = fabric.bw
+        lat = fabric.lat
+        cost = 0.0
+        for lid in links:
+            cost += (queued[lid] + size) / bw[lid] + lat[lid]
+        return cost

@@ -1,0 +1,53 @@
+"""Minimal routing (paper Section III-C).
+
+Every packet takes a minimum-hop path: inside a group at most one
+intermediate router; across groups one global link directly joining the
+two groups. When several minimum-hop paths exist (two grid intermediates,
+or several equally-close global links) one is picked uniformly at random,
+which is how Aries spreads minimal traffic — but no congestion information
+is ever consulted, so hot minimal paths cannot be avoided.
+
+The set of minimal routes per (source router, destination router) pair is
+static, so it is enumerated once and cached; the per-packet work is a
+single random pick.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.engine.rng import spawn_seed
+from repro.routing.base import RoutingPolicy
+from repro.routing.tables import route_tables
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.fabric import Fabric
+
+__all__ = ["MinimalRouting"]
+
+
+class MinimalRouting(RoutingPolicy):
+    """Congestion-oblivious minimum-hop routing."""
+
+    name = "min"
+
+    def __init__(self, seed: int = 0, max_candidates: int = 8) -> None:
+        self._rng = random.Random(spawn_seed(seed, "routing", "minimal"))
+        self.max_candidates = max_candidates
+
+    def minimal_candidates(
+        self, fabric: "Fabric", src_router: int, dst_router: int
+    ) -> tuple[tuple[int, ...], ...]:
+        """Cached enumeration of minimal routes for a router pair."""
+        return route_tables(fabric.topo).minimal(
+            src_router, dst_router, self.max_candidates
+        )
+
+    def route(
+        self, fabric: "Fabric", src_router: int, dst_node: int, size: int
+    ) -> list[int]:
+        dst_router = fabric.topo.router_of(dst_node)
+        routes = self.minimal_candidates(fabric, src_router, dst_router)
+        pick = routes[0] if len(routes) == 1 else self._rng.choice(routes)
+        return list(pick) + [fabric.topo.terminal_out(dst_node)]

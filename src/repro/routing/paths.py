@@ -1,0 +1,165 @@
+"""Path-construction helpers shared by the routing policies.
+
+The Cascade group is a row/column grid with all-to-all links along each
+row and column, so intra-group minimal paths have at most one intermediate
+router: either ``(src.row, dst.col)`` (row-first) or ``(dst.row,
+src.col)`` (column-first). Inter-group minimal paths take one global link
+directly joining the two groups, plus at most two local hops on each
+side. Valiant (non-minimal) paths detour through a random intermediate
+group, giving at most 2+1+2+1+2 = 8 router-to-router hops — the bound
+that sizes the VC count.
+
+Hot-path note: routing runs once per packet, so the policies cache the
+*enumerations* produced here per (source router, destination router) pair
+and only do an O(1) random pick per packet (see
+:func:`enumerate_minimal_routes`).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.topology.dragonfly import Dragonfly
+from repro.topology.geometry import router_coord, router_id
+
+__all__ = [
+    "local_hop_count",
+    "intra_group_links",
+    "enumerate_minimal_routes",
+    "valiant_route",
+]
+
+
+def local_hop_count(topo: Dragonfly, r1: int, r2: int) -> int:
+    """Number of local links on a minimal intra-group path (0, 1, or 2)."""
+    if r1 == r2:
+        return 0
+    p = topo.params
+    g1, row1, col1 = router_coord(p, r1)
+    g2, row2, col2 = router_coord(p, r2)
+    if g1 != g2:
+        raise ValueError("routers are in different groups")
+    return 1 if (row1 == row2 or col1 == col2) else 2
+
+
+def intra_group_links(
+    topo: Dragonfly, r1: int, r2: int, col_first: bool = False
+) -> list[int]:
+    """Minimal local-link path between two routers of the same group.
+
+    When two hops are needed, ``col_first`` selects which of the two
+    candidate intermediate routers is used.
+    """
+    if r1 == r2:
+        return []
+    p = topo.params
+    g1, row1, col1 = router_coord(p, r1)
+    g2, row2, col2 = router_coord(p, r2)
+    if g1 != g2:
+        raise ValueError("routers are in different groups")
+    direct = topo.local_link(r1, r2)
+    if direct is not None:
+        return [direct]
+    if col_first:
+        mid = router_id(p, g1, row2, col1)
+    else:
+        mid = router_id(p, g1, row1, col2)
+    first = topo.local_link(r1, mid)
+    second = topo.local_link(mid, r2)
+    assert first is not None and second is not None
+    return [first, second]
+
+
+def enumerate_minimal_routes(
+    topo: Dragonfly, src_router: int, dst_router: int, limit: int = 8
+) -> list[tuple[int, ...]]:
+    """All (up to ``limit``) minimum-hop routes between two routers.
+
+    Intra-group: the direct link, or the two one-intermediate paths.
+    Inter-group: the global links joining the two groups are ranked by
+    total hop count (local hops to the global port, the global hop,
+    local hops from the far endpoint); each minimum-length link yields a
+    route (segment orientation alternates row-first/column-first across
+    candidates to diversify intermediate routers). Deterministic, so the
+    result is cacheable per router pair.
+    """
+    if src_router == dst_router:
+        return [()]
+    g1 = topo.group_of_router(src_router)
+    g2 = topo.group_of_router(dst_router)
+    if g1 == g2:
+        if local_hop_count(topo, src_router, dst_router) == 1:
+            link = topo.local_link(src_router, dst_router)
+            assert link is not None
+            return [(link,)]
+        routes = [
+            tuple(intra_group_links(topo, src_router, dst_router, col_first=False)),
+            tuple(intra_group_links(topo, src_router, dst_router, col_first=True)),
+        ]
+        return routes[:limit]
+
+    candidates = topo.global_links(g1, g2)
+    lengths = [
+        local_hop_count(topo, src_router, a) + 1 + local_hop_count(topo, b, dst_router)
+        for (_, a, b) in candidates
+    ]
+    best = min(lengths)
+    routes: list[tuple[int, ...]] = []
+    for i, (lid, a, b) in enumerate(candidates):
+        if lengths[i] != best:
+            continue
+        col_first = bool(len(routes) % 2)
+        routes.append(
+            tuple(intra_group_links(topo, src_router, a, col_first))
+            + (lid,)
+            + tuple(intra_group_links(topo, b, dst_router, col_first))
+        )
+        if len(routes) >= limit:
+            break
+    return routes
+
+
+def valiant_route(
+    tables,
+    src_router: int,
+    dst_router: int,
+    rng: random.Random,
+) -> tuple[int, ...]:
+    """A non-minimal route through a random intermediate.
+
+    Inter-group: detour through a random *group* distinct from source and
+    destination groups (classic Valiant on dragonflies), entering and
+    leaving it over randomly chosen global links. Intra-group (or when
+    only two groups exist): detour through a random intermediate *router*
+    of the source group.
+
+    ``tables`` is the topology's :class:`~repro.routing.tables.RouteTables`;
+    assembling a detour is three cached lookups plus tuple concatenation.
+    """
+    topo = tables.topo
+    g1 = topo.group_of_router(src_router)
+    g2 = topo.group_of_router(dst_router)
+    p = topo.params
+    if g1 != g2 and p.groups > 2:
+        lo, hi = (g1, g2) if g1 < g2 else (g2, g1)
+        gi = rng.randrange(p.groups - 2)
+        if gi >= lo:
+            gi += 1
+        if gi >= hi:
+            gi += 1
+        head, entry1 = rng.choice(tables.to_group(src_router, gi))
+        mid, entry2 = rng.choice(tables.to_group(entry1, g2))
+        tails = tables.intra(entry2, dst_router)
+        tail = tails[0] if len(tails) == 1 else rng.choice(tails)
+        return head + mid + tail
+    # Intra-group Valiant: random distinct intermediate router in the
+    # source group (falls back to minimal when the group is too small).
+    per_group = p.routers_per_group
+    base = g1 * per_group
+    mid_router = base + rng.randrange(per_group)
+    if mid_router in (src_router, dst_router):
+        return rng.choice(tables.minimal(src_router, dst_router))
+    heads = tables.intra(src_router, mid_router)
+    head = heads[0] if len(heads) == 1 else rng.choice(heads)
+    tail = rng.choice(tables.minimal(mid_router, dst_router))
+    return head + tail

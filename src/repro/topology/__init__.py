@@ -1,0 +1,42 @@
+"""Dragonfly topology substrate (paper Section II).
+
+Builds the Cray Cascade style two-tier dragonfly used by Theta: groups of
+routers arranged in a row/column grid with all-to-all local links along
+each row and each column, global links joining every pair of groups, and
+compute nodes hanging off each router via terminal links.
+"""
+
+from repro.topology.links import LinkKind, LinkTable
+from repro.topology.geometry import (
+    RouterCoord,
+    router_coord,
+    router_id,
+    node_router,
+    node_slot,
+    node_id,
+    router_group,
+    chassis_id,
+    cabinet_id,
+    node_chassis,
+    node_cabinet,
+    node_group,
+)
+from repro.topology.dragonfly import Dragonfly
+
+__all__ = [
+    "LinkKind",
+    "LinkTable",
+    "RouterCoord",
+    "router_coord",
+    "router_id",
+    "node_router",
+    "node_slot",
+    "node_id",
+    "router_group",
+    "chassis_id",
+    "cabinet_id",
+    "node_chassis",
+    "node_cabinet",
+    "node_group",
+    "Dragonfly",
+]

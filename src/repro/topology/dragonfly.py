@@ -1,0 +1,244 @@
+"""Construction of the two-tier dragonfly machine (paper Fig. 1).
+
+Wiring rules reproduced from the Theta / Cray Cascade description in the
+paper:
+
+* each group is a ``rows x cols`` grid of routers;
+* every row is all-to-all connected with local (row) links, every column
+  is all-to-all connected with local (column) links — so an intra-group
+  minimal route needs at most one intermediate router;
+* every pair of groups is joined by ``global_links_per_pair``
+  bidirectional global links whose endpoints rotate deterministically over
+  the routers of each group so global connectivity is spread evenly;
+* four (configurable) compute nodes attach to each router via terminal
+  links.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.config import DragonflyParams, NetworkParams
+from repro.topology.geometry import (
+    router_coord,
+    router_id,
+    router_group,
+    node_router,
+    node_group,
+)
+from repro.topology.links import LinkKind, LinkTable
+
+__all__ = ["Dragonfly"]
+
+
+class Dragonfly:
+    """A fully-wired dragonfly machine.
+
+    Exposes the link table plus the lookup structures that the routing
+    layer needs: terminal links per node, the local link joining two
+    routers in the same row/column, and the global links joining each pair
+    of groups (with their endpoint routers).
+    """
+
+    def __init__(self, params: DragonflyParams) -> None:
+        self.params = params
+        self.links = LinkTable()
+
+        n_nodes = params.num_nodes
+        self._terminal_in = np.empty(n_nodes, dtype=np.int32)
+        self._terminal_out = np.empty(n_nodes, dtype=np.int32)
+        #: (r1, r2) -> link id for routers sharing a row or column.
+        self._local: dict[tuple[int, int], int] = {}
+        #: (g1, g2) -> list of (link id, src router, dst router).
+        self._global: dict[tuple[int, int], list[tuple[int, int, int]]] = {}
+        #: router -> {peer group -> [(link id, dst router), ...]}.
+        self._router_global: dict[int, dict[int, list[tuple[int, int]]]] = {}
+
+        self._build_terminal_links()
+        self._build_local_links()
+        self._build_global_links()
+        self.links.freeze()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build_terminal_links(self) -> None:
+        p = self.params
+        for node in range(p.num_nodes):
+            router = node_router(p, node)
+            self._terminal_in[node] = self.links.add(
+                LinkKind.TERMINAL_IN, node, router
+            )
+            self._terminal_out[node] = self.links.add(
+                LinkKind.TERMINAL_OUT, router, node
+            )
+
+    def _build_local_links(self) -> None:
+        p = self.params
+        for group in range(p.groups):
+            for row in range(p.rows):
+                members = [router_id(p, group, row, c) for c in range(p.cols)]
+                self._connect_all_to_all(members, LinkKind.LOCAL_ROW)
+            for col in range(p.cols):
+                members = [router_id(p, group, r, col) for r in range(p.rows)]
+                self._connect_all_to_all(members, LinkKind.LOCAL_COL)
+
+    def _connect_all_to_all(self, routers: list[int], kind: LinkKind) -> None:
+        for i, a in enumerate(routers):
+            for b in routers[i + 1 :]:
+                self._local[(a, b)] = self.links.add(kind, a, b)
+                self._local[(b, a)] = self.links.add(kind, b, a)
+
+    def _global_endpoint(self, group: int, peer: int, k: int) -> int:
+        """Router inside ``group`` hosting its k-th link toward ``peer``.
+
+        Endpoints are laid out round-robin: the links toward the
+        ``rel``-th clockwise peer occupy router indices starting at
+        ``rel * global_links_per_pair``, wrapping around the group. This
+        spreads the (groups-1) * K global endpoints evenly over routers,
+        mirroring how Cascade cabling distributes optical ports.
+        """
+        p = self.params
+        rel = (peer - group) % p.groups - 1
+        return router_id_from_local(
+            p, group, (rel * p.global_links_per_pair + k) % p.routers_per_group
+        )
+
+    def _build_global_links(self) -> None:
+        p = self.params
+        for g1 in range(p.groups):
+            for g2 in range(g1 + 1, p.groups):
+                fwd: list[tuple[int, int, int]] = []
+                rev: list[tuple[int, int, int]] = []
+                for k in range(p.global_links_per_pair):
+                    a = self._global_endpoint(g1, g2, k)
+                    b = self._global_endpoint(g2, g1, k)
+                    lid_ab = self.links.add(LinkKind.GLOBAL, a, b)
+                    lid_ba = self.links.add(LinkKind.GLOBAL, b, a)
+                    fwd.append((lid_ab, a, b))
+                    rev.append((lid_ba, b, a))
+                    self._router_global.setdefault(a, {}).setdefault(
+                        g2, []
+                    ).append((lid_ab, b))
+                    self._router_global.setdefault(b, {}).setdefault(
+                        g1, []
+                    ).append((lid_ba, a))
+                self._global[(g1, g2)] = fwd
+                self._global[(g2, g1)] = rev
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.params.num_nodes
+
+    @property
+    def num_routers(self) -> int:
+        return self.params.num_routers
+
+    @property
+    def num_links(self) -> int:
+        return len(self.links)
+
+    def terminal_in(self, node: int) -> int:
+        """Injection link (node -> router) of ``node``."""
+        return int(self._terminal_in[node])
+
+    def terminal_out(self, node: int) -> int:
+        """Ejection link (router -> node) of ``node``."""
+        return int(self._terminal_out[node])
+
+    def local_link(self, r1: int, r2: int) -> int | None:
+        """Directed local link r1 -> r2, or None if not row/col adjacent."""
+        return self._local.get((r1, r2))
+
+    def global_links(self, g1: int, g2: int) -> list[tuple[int, int, int]]:
+        """Global links from group ``g1`` to ``g2``: (lid, src, dst)."""
+        if g1 == g2:
+            raise ValueError("no global links inside a group")
+        return self._global[(g1, g2)]
+
+    def router_global_links(self, router: int) -> dict[int, list[tuple[int, int]]]:
+        """Global links leaving ``router``: {peer group: [(lid, dst), ...]}."""
+        return self._router_global.get(router, {})
+
+    def local_neighbors(self, router: int) -> Iterator[int]:
+        """Routers sharing a row or a column with ``router``."""
+        p = self.params
+        group, row, col = router_coord(p, router)
+        for c in range(p.cols):
+            if c != col:
+                yield router_id(p, group, row, c)
+        for r in range(p.rows):
+            if r != row:
+                yield router_id(p, group, r, col)
+
+    def router_of(self, node: int) -> int:
+        return node_router(self.params, node)
+
+    def group_of_router(self, router: int) -> int:
+        return router_group(self.params, router)
+
+    def group_of_node(self, node: int) -> int:
+        return node_group(self.params, node)
+
+    # ------------------------------------------------------------------
+    # derived tables
+    # ------------------------------------------------------------------
+    def link_profiles(
+        self, net: NetworkParams
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-link (bandwidth, latency, VC buffer capacity) arrays.
+
+        Terminal links use the terminal bandwidth and the node VC buffer;
+        local and global links use their class parameters.
+        """
+        kind = self.links.kind
+        assert kind is not None, "link table must be frozen"
+        bw = np.empty(len(kind), dtype=np.float64)
+        lat = np.empty(len(kind), dtype=np.float64)
+        buf = np.empty(len(kind), dtype=np.int64)
+
+        term = (kind == LinkKind.TERMINAL_IN) | (kind == LinkKind.TERMINAL_OUT)
+        local = (kind == LinkKind.LOCAL_ROW) | (kind == LinkKind.LOCAL_COL)
+        glob = kind == LinkKind.GLOBAL
+
+        bw[term] = net.terminal_bw
+        bw[local] = net.local_bw
+        bw[glob] = net.global_bw
+        lat[term] = net.terminal_latency_ns
+        lat[local] = net.local_latency_ns
+        lat[glob] = net.global_latency_ns
+        buf[term] = net.node_vc_buffer
+        buf[local] = net.local_vc_buffer
+        buf[glob] = net.global_vc_buffer
+        return bw, lat, buf
+
+    def router_graph(self):
+        """Router-level :class:`networkx.MultiDiGraph` (for validation).
+
+        Edges carry ``kind`` and ``link`` attributes. Terminal links are
+        omitted; the graph answers connectivity/diameter questions about
+        the router fabric.
+        """
+        import networkx as nx
+
+        g = nx.MultiDiGraph()
+        g.add_nodes_from(range(self.num_routers))
+        kind = self.links.kind
+        src = self.links.src
+        dst = self.links.dst
+        for lid in range(self.num_links):
+            k = LinkKind(int(kind[lid]))
+            if k.is_terminal:
+                continue
+            g.add_edge(int(src[lid]), int(dst[lid]), kind=k, link=lid)
+        return g
+
+
+def router_id_from_local(params: DragonflyParams, group: int, local: int) -> int:
+    """Global router id of the ``local``-th router inside ``group``."""
+    return group * params.routers_per_group + local

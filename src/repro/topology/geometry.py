@@ -1,0 +1,104 @@
+"""Pure id <-> coordinate arithmetic for dragonfly machines.
+
+Identifier conventions (all zero-based, dense):
+
+* router ``r``: global router id in ``[0, groups * rows * cols)``;
+  within a group routers are numbered row-major, so a *chassis* (one row)
+  is a contiguous block of ``cols`` router ids.
+* node ``n``: global node id in ``[0, num_routers * nodes_per_router)``;
+  the nodes of router ``r`` are ``r * nodes_per_router + slot``.
+* chassis: ``group * rows + row``.
+* cabinet: ``group * cabinets_per_group + row // chassis_per_cabinet``.
+
+Keeping these as free functions (rather than methods) lets hot paths call
+them without attribute lookups and makes them trivially property-testable.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.config import DragonflyParams
+
+__all__ = [
+    "RouterCoord",
+    "router_coord",
+    "router_id",
+    "router_group",
+    "node_router",
+    "node_slot",
+    "node_id",
+    "chassis_id",
+    "cabinet_id",
+    "node_chassis",
+    "node_cabinet",
+    "node_group",
+]
+
+
+class RouterCoord(NamedTuple):
+    """Position of a router: which group, and where in the group grid."""
+
+    group: int
+    row: int
+    col: int
+
+
+def router_coord(params: DragonflyParams, router: int) -> RouterCoord:
+    """Decompose a global router id into (group, row, col)."""
+    per_group = params.routers_per_group
+    group, local = divmod(router, per_group)
+    row, col = divmod(local, params.cols)
+    return RouterCoord(group, row, col)
+
+
+def router_id(params: DragonflyParams, group: int, row: int, col: int) -> int:
+    """Compose a global router id from (group, row, col)."""
+    return (group * params.rows + row) * params.cols + col
+
+
+def router_group(params: DragonflyParams, router: int) -> int:
+    """Group that a router belongs to."""
+    return router // params.routers_per_group
+
+
+def node_router(params: DragonflyParams, node: int) -> int:
+    """Router a node is attached to."""
+    return node // params.nodes_per_router
+
+
+def node_slot(params: DragonflyParams, node: int) -> int:
+    """Terminal slot of a node on its router."""
+    return node % params.nodes_per_router
+
+
+def node_id(params: DragonflyParams, router: int, slot: int) -> int:
+    """Node id of the ``slot``-th node attached to ``router``."""
+    return router * params.nodes_per_router + slot
+
+
+def chassis_id(params: DragonflyParams, router: int) -> int:
+    """Global chassis id (a chassis is one row of routers in one group)."""
+    group, row, _ = router_coord(params, router)
+    return group * params.rows + row
+
+
+def cabinet_id(params: DragonflyParams, router: int) -> int:
+    """Global cabinet id (``chassis_per_cabinet`` consecutive chassis)."""
+    group, row, _ = router_coord(params, router)
+    return group * params.cabinets_per_group + row // params.chassis_per_cabinet
+
+
+def node_chassis(params: DragonflyParams, node: int) -> int:
+    """Global chassis id of a node."""
+    return chassis_id(params, node_router(params, node))
+
+
+def node_cabinet(params: DragonflyParams, node: int) -> int:
+    """Global cabinet id of a node."""
+    return cabinet_id(params, node_router(params, node))
+
+
+def node_group(params: DragonflyParams, node: int) -> int:
+    """Group id of a node."""
+    return router_group(params, node_router(params, node))

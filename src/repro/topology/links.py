@@ -1,0 +1,98 @@
+"""Directed-link table shared by the topology, routing, and fabric layers.
+
+Every physical channel in the machine is a *directed* link with a dense
+integer id. The table stores, per link: its kind, the transmitting
+endpoint, and the receiving endpoint. For ``TERMINAL_IN`` links the source
+is a node id; for ``TERMINAL_OUT`` links the destination is a node id; all
+other endpoints are router ids.
+
+The table is built incrementally with :meth:`LinkTable.add` and then
+frozen into NumPy arrays so the metrics layer can do vectorised
+aggregation over hundreds of thousands of channels.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+__all__ = ["LinkKind", "LinkTable"]
+
+
+class LinkKind(enum.IntEnum):
+    """Physical class of a directed channel."""
+
+    TERMINAL_IN = 0  # node NIC -> router
+    TERMINAL_OUT = 1  # router -> node NIC
+    LOCAL_ROW = 2  # router -> router, same group, same row
+    LOCAL_COL = 3  # router -> router, same group, same column
+    GLOBAL = 4  # router -> router, different groups
+
+    @property
+    def is_local(self) -> bool:
+        return self in (LinkKind.LOCAL_ROW, LinkKind.LOCAL_COL)
+
+    @property
+    def is_terminal(self) -> bool:
+        return self in (LinkKind.TERMINAL_IN, LinkKind.TERMINAL_OUT)
+
+
+class LinkTable:
+    """Append-only registry of directed links, freezable to NumPy arrays."""
+
+    def __init__(self) -> None:
+        self._kind: list[int] = []
+        self._src: list[int] = []
+        self._dst: list[int] = []
+        self._frozen = False
+        self.kind: np.ndarray | None = None
+        self.src: np.ndarray | None = None
+        self.dst: np.ndarray | None = None
+
+    def add(self, kind: LinkKind, src: int, dst: int) -> int:
+        """Register a directed link and return its id."""
+        if self._frozen:
+            raise RuntimeError("cannot add links to a frozen LinkTable")
+        link_id = len(self._kind)
+        self._kind.append(int(kind))
+        self._src.append(src)
+        self._dst.append(dst)
+        return link_id
+
+    def freeze(self) -> None:
+        """Convert the accumulated lists into immutable NumPy arrays."""
+        if self._frozen:
+            return
+        self.kind = np.asarray(self._kind, dtype=np.int8)
+        self.src = np.asarray(self._src, dtype=np.int32)
+        self.dst = np.asarray(self._dst, dtype=np.int32)
+        for arr in (self.kind, self.src, self.dst):
+            arr.setflags(write=False)
+        self._frozen = True
+
+    def __len__(self) -> int:
+        return len(self._kind)
+
+    def kind_of(self, link: int) -> LinkKind:
+        """Kind of one link (works before and after freezing)."""
+        return LinkKind(self._kind[link])
+
+    def endpoints(self, link: int) -> tuple[int, int]:
+        """(src, dst) endpoint ids of one link."""
+        return self._src[link], self._dst[link]
+
+    def ids_of_kind(self, *kinds: LinkKind) -> np.ndarray:
+        """All link ids whose kind is in ``kinds`` (requires freeze)."""
+        if not self._frozen:
+            raise RuntimeError("LinkTable must be frozen first")
+        mask = np.isin(self.kind, [int(k) for k in kinds])
+        return np.nonzero(mask)[0]
+
+    def local_ids(self) -> np.ndarray:
+        """Ids of all local (row + column) links."""
+        return self.ids_of_kind(LinkKind.LOCAL_ROW, LinkKind.LOCAL_COL)
+
+    def global_ids(self) -> np.ndarray:
+        """Ids of all global links."""
+        return self.ids_of_kind(LinkKind.GLOBAL)

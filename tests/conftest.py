@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DragonflyParams, tiny, small
+from repro.core.runner import build_topology
+
+
+@pytest.fixture(scope="session")
+def tiny_config():
+    """24-node machine: 3 groups x (2x2 routers) x 2 nodes."""
+    return tiny()
+
+
+@pytest.fixture(scope="session")
+def small_config():
+    """80-node machine: 5 groups x (2x4 routers) x 2 nodes."""
+    return small()
+
+
+@pytest.fixture(scope="session")
+def tiny_topo(tiny_config):
+    return build_topology(tiny_config.topology)
+
+
+@pytest.fixture(scope="session")
+def small_topo(small_config):
+    return build_topology(small_config.topology)
+
+
+@pytest.fixture(scope="session")
+def medium_params():
+    """Mid-size parameter set used for topology property tests."""
+    return DragonflyParams(
+        groups=4, rows=3, cols=4, nodes_per_router=2,
+        chassis_per_cabinet=3, global_links_per_pair=3,
+    )

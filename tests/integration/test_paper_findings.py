@@ -1,0 +1,128 @@
+"""Integration tests: the paper's qualitative findings hold in the sim.
+
+These run the actual experiment machinery on the `small` preset at
+reduced message scales, asserting the *shape* of the Section IV results:
+hops ordering across placements, localized-vs-balanced saturation
+behaviour, and adaptive routing's congestion avoidance.
+"""
+
+import pytest
+
+import repro
+
+
+@pytest.fixture(scope="module")
+def cr_runs():
+    """CR at a load high enough to congest the contiguous block."""
+    cfg = repro.small()
+    trace = repro.crystal_router_trace(num_ranks=32, seed=2)
+    return {
+        (p, r): repro.run_single(cfg, trace, p, r, seed=2)
+        for p in ("cont", "rotr", "rand")
+        for r in ("min", "adp")
+    }
+
+
+class TestHopLocality:
+    def test_placement_hop_ordering(self, cr_runs):
+        """Finding §IV-A: localized placement reduces average hops."""
+        cont = cr_runs[("cont", "min")].metrics.mean_hops
+        rotr = cr_runs[("rotr", "min")].metrics.mean_hops
+        rand = cr_runs[("rand", "min")].metrics.mean_hops
+        assert cont < rand
+        assert cont <= rotr <= rand
+
+    def test_adaptive_adds_hops(self, cr_runs):
+        """Adaptive routing pays extra hops for congestion avoidance."""
+        for p in ("cont", "rand"):
+            assert (
+                cr_runs[(p, "adp")].metrics.mean_hops
+                >= cr_runs[(p, "min")].metrics.mean_hops
+            )
+
+    def test_minimal_intra_group_hops_bounded(self, cr_runs):
+        """Under contiguous+minimal a small job stays few-hop."""
+        hops = cr_runs[("cont", "min")].metrics.avg_hops
+        assert hops.max() <= 5.0
+
+
+class TestLocalizedCongestion:
+    def test_contiguous_suffers_more_local_saturation(self, cr_runs):
+        """Paper §IV-A: 'contiguous placement suffers large local link
+        saturation time because the majority of traffic is confined
+        within a small group of routers'; random-node placement
+        'reduces the saturation time on the links'."""
+        cont = cr_runs[("cont", "min")].metrics.total_local_sat_ns
+        rand = cr_runs[("rand", "min")].metrics.total_local_sat_ns
+        assert cont > rand
+
+    def test_random_spreads_over_more_channels(self, cr_runs):
+        cont = cr_runs[("cont", "min")].metrics
+        rand = cr_runs[("rand", "min")].metrics
+        cont_used = (cont.local_traffic_bytes > 0).sum() + (
+            cont.global_traffic_bytes > 0
+        ).sum()
+        rand_used = (rand.local_traffic_bytes > 0).sum() + (
+            rand.global_traffic_bytes > 0
+        ).sum()
+        assert rand_used > cont_used
+
+    def test_adaptive_reduces_local_saturation_under_contiguous(self, cr_runs):
+        """Finding §IV-A (CR): adaptive 'helps reduce saturation
+        noticeably on local links' for localized placement."""
+        min_sat = cr_runs[("cont", "min")].metrics.total_local_sat_ns
+        adp_sat = cr_runs[("cont", "adp")].metrics.total_local_sat_ns
+        assert min_sat > 0
+        assert adp_sat < min_sat
+
+
+class TestTrafficBalance:
+    def test_random_raises_global_traffic(self, cr_runs):
+        """Spreading ranks over groups moves traffic onto global links."""
+        cont = cr_runs[("cont", "min")].metrics.total_global_traffic
+        rand = cr_runs[("rand", "min")].metrics.total_global_traffic
+        assert rand > cont
+
+    def test_total_traffic_scales_with_hops(self, cr_runs):
+        """More hops => more total bytes carried by the fabric."""
+        cont = cr_runs[("cont", "min")].metrics
+        rand = cr_runs[("rand", "min")].metrics
+        cont_total = cont.total_local_traffic + cont.total_global_traffic
+        rand_total = rand.total_local_traffic + rand.total_global_traffic
+        assert rand_total > cont_total
+
+
+class TestAppPreferences:
+    """Each app's winning configuration (paper Figure 3)."""
+
+    def test_amg_prefers_contiguous(self):
+        """AMG: contiguous beats random-node (paper: ~2.3%)."""
+        cfg = repro.small()
+        trace = repro.amg_trace(num_ranks=32, seed=2)
+        cont = repro.run_single(cfg, trace, "cont", "adp", seed=2)
+        rand = repro.run_single(cfg, trace, "rand", "adp", seed=2)
+        assert (
+            cont.metrics.median_comm_time_ns < rand.metrics.median_comm_time_ns
+        )
+
+    def test_fb_prefers_adaptive(self):
+        """FB: adaptive routing beats minimal under either placement."""
+        cfg = repro.small()
+        trace = repro.fill_boundary_trace(num_ranks=32, seed=2).scaled(0.05)
+        for p in ("cont", "rand"):
+            adp = repro.run_single(cfg, trace, p, "adp", seed=2)
+            mn = repro.run_single(cfg, trace, p, "min", seed=2)
+            assert (
+                adp.metrics.median_comm_time_ns <= mn.metrics.median_comm_time_ns
+            )
+
+    def test_cr_low_intensity_prefers_contiguous(self):
+        """Fig 7a: at very small message loads contiguous-minimal wins
+        (fewer hops, no congestion to avoid)."""
+        cfg = repro.small()
+        trace = repro.crystal_router_trace(num_ranks=32, seed=2).scaled(0.02)
+        cont = repro.run_single(cfg, trace, "cont", "min", seed=2)
+        rand = repro.run_single(cfg, trace, "rand", "min", seed=2)
+        assert (
+            cont.metrics.median_comm_time_ns < rand.metrics.median_comm_time_ns
+        )

@@ -1,0 +1,64 @@
+"""Full Theta-scale smoke tests (3,456 nodes, the paper's machine)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.runner import build_topology
+from repro.topology.links import LinkKind
+
+
+@pytest.fixture(scope="module")
+def theta_topo():
+    return build_topology(repro.theta().topology)
+
+
+class TestThetaTopology:
+    def test_scale_matches_paper(self, theta_topo):
+        p = theta_topo.params
+        assert p.groups == 9
+        assert p.routers_per_group == 96
+        assert p.num_nodes == 3456
+        # Chassis = row of 16 routers; cabinet = 3 chassis (paper §II).
+        assert p.cols == 16 and p.chassis_per_cabinet == 3
+
+    def test_link_inventory(self, theta_topo):
+        kind = theta_topo.links.kind
+        # 2 terminal links per node.
+        assert int(((kind == LinkKind.TERMINAL_IN).sum())) == 3456
+        # Row links: 9 groups x 6 rows x 16x15 directed pairs.
+        assert int((kind == LinkKind.LOCAL_ROW).sum()) == 9 * 6 * 16 * 15
+        # Column links: 9 groups x 16 cols x 6x5 directed pairs.
+        assert int((kind == LinkKind.LOCAL_COL).sum()) == 9 * 16 * 6 * 5
+        # Global: 36 group pairs x 24 links x 2 directions.
+        assert int((kind == LinkKind.GLOBAL).sum()) == 36 * 24 * 2
+
+    def test_every_group_pair_connected(self, theta_topo):
+        for g1 in range(9):
+            for g2 in range(9):
+                if g1 != g2:
+                    assert len(theta_topo.global_links(g1, g2)) == 24
+
+    def test_minimal_routes_bounded_at_scale(self, theta_topo):
+        from repro.routing.tables import route_tables
+
+        tables = route_tables(theta_topo)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            r1 = int(rng.integers(theta_topo.num_routers))
+            r2 = int(rng.integers(theta_topo.num_routers))
+            for route in tables.minimal(r1, r2):
+                assert len(route) <= 5
+
+
+class TestThetaReplay:
+    def test_amg_full_scale_replay(self, theta_topo):
+        """The paper's 1728-rank AMG replays end to end at full scale."""
+        cfg = repro.theta()
+        trace = repro.amg_trace(num_ranks=1728, seed=1)
+        result = repro.run_single(cfg, trace, "cont", "min", seed=1)
+        assert result.job.num_ranks == 1728
+        assert result.job.bytes_recv.sum() == trace.total_bytes()
+        # Contiguous AMG at 50% occupancy spans ~4.5 groups; hops stay
+        # low (most halo exchanges are intra-group on 96-router groups).
+        assert result.metrics.mean_hops < 2.0

@@ -1,0 +1,110 @@
+"""Placement advisor tests: the paper's findings as decisions."""
+
+import pytest
+
+import repro
+from repro.core.advisor import characterize, recommend
+
+
+@pytest.fixture(scope="module")
+def config():
+    return repro.medium()
+
+
+class TestCharacterize:
+    def test_cr_profile(self):
+        p = characterize(repro.crystal_router_trace(num_ranks=64, seed=1))
+        # Steady many-to-many with a strong neighbourhood share.
+        assert p.load_fluctuation < 0.5
+        assert p.neighborhood_share > 0.3
+        assert p.partners_per_rank >= 6
+
+    def test_fb_profile(self):
+        p = characterize(repro.fill_boundary_trace(num_ranks=64, seed=1))
+        # Strongly fluctuating, heaviest load of the three.
+        assert p.load_fluctuation > 0.5
+        assert p.bytes_per_rank > 1e6
+
+    def test_amg_profile(self):
+        p = characterize(repro.amg_trace(num_ranks=64, seed=1))
+        cr = characterize(repro.crystal_router_trace(num_ranks=64, seed=1))
+        assert p.bytes_per_rank < cr.bytes_per_rank
+        assert p.partners_per_rank < 20
+
+    def test_scaling_affects_only_load(self):
+        base = characterize(repro.crystal_router_trace(num_ranks=32, seed=1))
+        scaled = characterize(
+            repro.crystal_router_trace(num_ranks=32, seed=1).scaled(0.1)
+        )
+        assert scaled.bytes_per_rank < base.bytes_per_rank
+        assert scaled.messages_per_rank == base.messages_per_rank
+        assert scaled.partners_per_rank == base.partners_per_rank
+
+    def test_phase_counting(self):
+        p = characterize(repro.amg_trace(num_ranks=27, cycles=2, seed=1))
+        assert p.phases_per_rank > 0
+        assert p.bytes_per_phase < p.bytes_per_rank
+
+
+class TestRecommend:
+    def test_heavy_steady_app_gets_rand_min(self, config):
+        """CR-like at full load: balanced placement, minimal routing."""
+        trace = repro.crystal_router_trace(num_ranks=128, seed=1)
+        rec = recommend(trace, config)
+        assert rec.label == "rand-min"
+        assert rec.rationale
+
+    def test_heavy_fluctuating_app_gets_rand_adp(self, config):
+        """FB-like: balanced placement, adaptive routing."""
+        trace = repro.fill_boundary_trace(num_ranks=128, seed=1).scaled(0.1)
+        rec = recommend(trace, config)
+        assert rec.label == "rand-adp"
+
+    def test_light_app_gets_contiguous(self, config):
+        """AMG-like: localized placement."""
+        trace = repro.amg_trace(num_ranks=128, seed=1)
+        rec = recommend(trace, config)
+        assert rec.placement == "cont"
+
+    def test_low_intensity_flips_heavy_app(self, config):
+        """The same app at 1% load localizes (paper Fig 7 crossover)."""
+        trace = repro.crystal_router_trace(num_ranks=128, seed=1).scaled(0.01)
+        rec = recommend(trace, config)
+        assert rec.placement == "cont"
+
+    def test_bursty_shared_network_forces_isolation(self, config):
+        """§IV-C: under bursty external traffic, even heavy apps are
+        advised into the isolated cont-min configuration."""
+        trace = repro.fill_boundary_trace(num_ranks=128, seed=1).scaled(0.1)
+        rec = recommend(trace, config, shared_network=True, bursty_neighbors=True)
+        assert rec.label == "cont-min"
+
+    def test_shared_network_light_app_keeps_minimal(self, config):
+        """Fig 8: AMG-like apps on shared networks stay cont-min so
+        background traffic cannot route through their routers."""
+        trace = repro.amg_trace(num_ranks=128, seed=1)
+        rec = recommend(trace, config, shared_network=True)
+        assert rec.label == "cont-min"
+
+    def test_machine_relative_intensity(self):
+        """The same trace is heavier relative to a slower network."""
+        import dataclasses
+
+        trace = repro.crystal_router_trace(num_ranks=64, seed=1)
+        fast = repro.medium()
+        slow_net = dataclasses.replace(fast.network, local_bw=fast.network.local_bw / 50)
+        slow = dataclasses.replace(fast, network=slow_net)
+        assert recommend(trace, slow).intensity > recommend(trace, fast).intensity
+
+    def test_recommendation_validated_by_simulation(self):
+        """The advisor's pick is at least as good as the opposite
+        extreme when actually simulated (AMG on the small machine)."""
+        cfg = repro.small()
+        trace = repro.amg_trace(num_ranks=32, seed=2)
+        rec = recommend(trace, cfg)
+        chosen = repro.run_single(cfg, trace, rec.placement, rec.routing, seed=2)
+        opposite = repro.run_single(cfg, trace, "rand", "min", seed=2)
+        assert (
+            chosen.metrics.median_comm_time_ns
+            <= opposite.metrics.median_comm_time_ns
+        )

@@ -1,0 +1,84 @@
+"""CLI smoke tests (each command runs and prints plausible output)."""
+
+import pytest
+
+from repro.cli import main
+from repro.mpi.dumpi import save_trace
+
+
+def run_cli(capsys, *argv):
+    rc = main(list(argv))
+    out = capsys.readouterr().out
+    return rc, out
+
+
+COMMON = ["--preset", "tiny", "--ranks", "8", "--msg-scale", "0.05", "--seed", "1"]
+
+
+class TestCommands:
+    def test_nomenclature(self, capsys):
+        rc, out = run_cli(capsys, "nomenclature")
+        assert rc == 0
+        assert "cont-min" in out and "rand-adp" in out
+
+    def test_characterize(self, capsys):
+        rc, out = run_cli(capsys, "characterize", "CR", *COMMON)
+        assert rc == 0
+        assert "avg load per rank" in out
+
+    def test_study(self, capsys):
+        rc, out = run_cli(capsys, "study", "AMG", *COMMON)
+        assert rc == 0
+        assert "communication time" in out
+        assert "best configuration" in out
+
+    def test_sensitivity(self, capsys):
+        rc, out = run_cli(capsys, "sensitivity", "AMG", *COMMON)
+        assert rc == 0
+        assert "rand-adp" in out
+
+    def test_interference(self, capsys):
+        rc, out = run_cli(
+            capsys,
+            "interference",
+            "AMG",
+            "--pattern",
+            "uniform",
+            "--bg-bytes",
+            "1024",
+            "--bg-interval-us",
+            "10",
+            *COMMON,
+        )
+        assert rc == 0
+        assert "background" in out
+
+    def test_replay(self, capsys, tmp_path):
+        import repro
+
+        trace = repro.amg_trace(num_ranks=8, seed=1).scaled(0.1)
+        path = tmp_path / "amg.dumpi"
+        save_trace(trace, path)
+        rc, out = run_cli(
+            capsys, "replay", str(path), "--preset", "tiny", "--seed", "1"
+        )
+        assert rc == 0
+        assert "max_comm_ms" in out
+
+    def test_advise(self, capsys):
+        rc, out = run_cli(capsys, "advise", "AMG", *COMMON)
+        assert rc == 0
+        assert "use " in out and "offered rate" in out
+
+    def test_advise_bursty(self, capsys):
+        rc, out = run_cli(capsys, "advise", "FB", "--bursty", *COMMON)
+        assert rc == 0
+        assert "cont-min" in out
+
+    def test_unknown_app_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["study", "LINPACK", "--preset", "tiny"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

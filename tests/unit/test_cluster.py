@@ -1,0 +1,103 @@
+"""Multi-job cluster workload tests."""
+
+import math
+
+import pytest
+
+import repro
+from repro.core.cluster import JobSpec, run_cluster
+
+
+@pytest.fixture(scope="module")
+def two_job_result():
+    cfg = repro.small()
+    specs = [
+        JobSpec(
+            repro.crystal_router_trace(num_ranks=24, seed=1).scaled(0.3),
+            placement="cont",
+        ),
+        JobSpec(
+            repro.amg_trace(num_ranks=24, seed=2),
+            placement="cont",
+            arrival_ns=5_000.0,
+        ),
+    ]
+    return run_cluster(cfg, specs, routing="adp", seed=3)
+
+
+class TestRunCluster:
+    def test_all_jobs_finish(self, two_job_result):
+        assert len(two_job_result.jobs) == 2
+        for j in two_job_result.jobs:
+            assert (j.job.finish_time_ns >= j.start_ns).all()
+        assert two_job_result.makespan_ns > 0
+
+    def test_disjoint_allocations(self, two_job_result):
+        a, b = two_job_result.jobs
+        assert not set(a.nodes) & set(b.nodes)
+
+    def test_arrival_delays_start(self, two_job_result):
+        amg = two_job_result.by_name("AMG")
+        assert amg.start_ns == 5_000.0
+        assert (amg.job.finish_time_ns >= 5_000.0).all()
+
+    def test_interference_slowdown_measured(self, two_job_result):
+        for j in two_job_result.jobs:
+            assert j.isolated_comm_ns is not None and j.isolated_comm_ns > 0
+            assert not math.isnan(j.slowdown)
+            # Sharing never speeds a job up (beyond numeric noise).
+            assert j.slowdown >= 0.95
+
+    def test_to_text(self, two_job_result):
+        text = two_job_result.to_text()
+        assert "CR" in text and "AMG" in text and "makespan" in text
+
+    def test_by_name_unknown(self, two_job_result):
+        with pytest.raises(KeyError):
+            two_job_result.by_name("LINPACK")
+
+
+class TestValidation:
+    def test_empty_specs(self):
+        with pytest.raises(ValueError):
+            run_cluster(repro.tiny(), [])
+
+    def test_negative_arrival(self):
+        with pytest.raises(ValueError):
+            JobSpec(repro.amg_trace(num_ranks=8, seed=1), arrival_ns=-1.0)
+
+    def test_over_subscription(self):
+        cfg = repro.tiny()  # 24 nodes
+        specs = [
+            JobSpec(repro.amg_trace(num_ranks=16, seed=1)),
+            JobSpec(repro.amg_trace(num_ranks=16, seed=2)),
+        ]
+        with pytest.raises(ValueError, match="free"):
+            run_cluster(cfg, specs)
+
+
+class TestInterferencePhysics:
+    def test_colocated_jobs_interfere_more_than_isolated(self):
+        """Two heavy jobs interleaved node-by-node slow each other more
+        than the same jobs placed contiguously apart (the bully effect
+        from the authors' prior work)."""
+        cfg = repro.small()
+
+        def heavy(seed):
+            return repro.fill_boundary_trace(num_ranks=24, seed=seed).scaled(0.03)
+
+        spread = run_cluster(
+            cfg,
+            [JobSpec(heavy(1), "rand"), JobSpec(heavy(2), "rand")],
+            routing="min",
+            seed=5,
+        )
+        apart = run_cluster(
+            cfg,
+            [JobSpec(heavy(1), "cont"), JobSpec(heavy(2), "cont")],
+            routing="min",
+            seed=5,
+        )
+        mean_slow_spread = sum(j.slowdown for j in spread.jobs) / 2
+        mean_slow_apart = sum(j.slowdown for j in apart.jobs) / 2
+        assert mean_slow_apart <= mean_slow_spread + 0.05

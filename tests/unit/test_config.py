@@ -1,0 +1,121 @@
+"""Unit tests for configuration dataclasses and presets."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    GIB_PER_SEC,
+    DragonflyParams,
+    NetworkParams,
+    SimulationConfig,
+    medium,
+    small,
+    theta,
+    tiny,
+)
+
+
+class TestDragonflyParams:
+    def test_theta_defaults_match_paper(self):
+        p = DragonflyParams()
+        assert p.groups == 9
+        assert p.rows == 6
+        assert p.cols == 16
+        assert p.nodes_per_router == 4
+        assert p.routers_per_group == 96
+        assert p.num_routers == 864
+        # 9 groups x 96 routers x 4 nodes (the paper's 3,624-node Theta
+        # has some service blades; the network fabric is this size).
+        assert p.num_nodes == 3456
+
+    def test_chassis_and_cabinet_counts(self):
+        p = DragonflyParams()
+        assert p.chassis_per_group == 6
+        assert p.cabinets_per_group == 2
+        assert p.num_chassis == 54
+        assert p.num_cabinets == 18
+        assert p.nodes_per_chassis == 64
+        assert p.nodes_per_cabinet == 192
+
+    def test_rejects_too_few_groups(self):
+        with pytest.raises(ValueError, match="groups"):
+            DragonflyParams(groups=1)
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            DragonflyParams(rows=0)
+        with pytest.raises(ValueError):
+            DragonflyParams(cols=0)
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            DragonflyParams(nodes_per_router=0)
+
+    def test_rejects_non_tiling_cabinets(self):
+        with pytest.raises(ValueError, match="multiple"):
+            DragonflyParams(rows=5, chassis_per_cabinet=3)
+
+    def test_rejects_disconnected_groups(self):
+        with pytest.raises(ValueError):
+            DragonflyParams(global_links_per_pair=0)
+
+    def test_frozen(self):
+        p = DragonflyParams()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            p.groups = 5  # type: ignore[misc]
+
+
+class TestNetworkParams:
+    def test_theta_bandwidths(self):
+        n = NetworkParams()
+        assert n.terminal_bw == pytest.approx(16.0 * GIB_PER_SEC)
+        assert n.local_bw == pytest.approx(5.25 * GIB_PER_SEC)
+        assert n.global_bw == pytest.approx(4.69 * GIB_PER_SEC)
+
+    def test_theta_buffers(self):
+        n = NetworkParams()
+        assert n.node_vc_buffer == 8 * 1024
+        assert n.local_vc_buffer == 8 * 1024
+        assert n.global_vc_buffer == 16 * 1024
+
+    def test_gib_conversion(self):
+        # 1 GiB/s is ~1.0737 bytes per ns.
+        assert GIB_PER_SEC == pytest.approx(1.0737, rel=1e-3)
+
+    def test_packet_must_fit_smallest_buffer(self):
+        with pytest.raises(ValueError, match="packet_size"):
+            NetworkParams(packet_size=9000)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            NetworkParams(local_bw=0.0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            NetworkParams(global_latency_ns=-1.0)
+
+    def test_rejects_zero_vcs(self):
+        with pytest.raises(ValueError):
+            NetworkParams(num_vcs=0)
+
+
+class TestPresets:
+    @pytest.mark.parametrize("preset", [theta, medium, small, tiny])
+    def test_presets_construct(self, preset):
+        cfg = preset()
+        assert isinstance(cfg, SimulationConfig)
+        assert cfg.topology.num_nodes >= 24
+
+    def test_preset_sizes(self):
+        assert theta().topology.num_nodes == 3456
+        assert medium().topology.num_nodes == 432
+        assert small().topology.num_nodes == 80
+        assert tiny().topology.num_nodes == 24
+
+    def test_with_seed_returns_new_config(self):
+        cfg = small()
+        cfg2 = cfg.with_seed(42)
+        assert cfg2.seed == 42
+        assert cfg.seed == 0
+        assert cfg2.topology == cfg.topology

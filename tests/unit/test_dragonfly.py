@@ -1,0 +1,172 @@
+"""Topology wiring invariants (paper Section II / Figure 1)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.config import DragonflyParams, NetworkParams
+from repro.topology.dragonfly import Dragonfly
+from repro.topology.links import LinkKind
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return Dragonfly(
+        DragonflyParams(
+            groups=4, rows=3, cols=4, nodes_per_router=2,
+            chassis_per_cabinet=3, global_links_per_pair=3,
+        )
+    )
+
+
+class TestLinkCounts:
+    def test_terminal_links(self, topo):
+        p = topo.params
+        terminal = topo.links.ids_of_kind(LinkKind.TERMINAL_IN, LinkKind.TERMINAL_OUT)
+        assert len(terminal) == 2 * p.num_nodes
+
+    def test_local_link_count(self, topo):
+        p = topo.params
+        per_group = (
+            p.rows * p.cols * (p.cols - 1) + p.cols * p.rows * (p.rows - 1)
+        )  # directed row + column links
+        assert len(topo.links.local_ids()) == p.groups * per_group
+
+    def test_global_link_count(self, topo):
+        p = topo.params
+        pairs = p.groups * (p.groups - 1) // 2
+        assert len(topo.links.global_ids()) == 2 * pairs * p.global_links_per_pair
+
+    def test_row_vs_column_split(self, topo):
+        p = topo.params
+        rows = topo.links.ids_of_kind(LinkKind.LOCAL_ROW)
+        cols = topo.links.ids_of_kind(LinkKind.LOCAL_COL)
+        assert len(rows) == p.groups * p.rows * p.cols * (p.cols - 1)
+        assert len(cols) == p.groups * p.cols * p.rows * (p.rows - 1)
+
+
+class TestWiring:
+    def test_local_links_bidirectional(self, topo):
+        for (r1, r2), lid in topo._local.items():
+            back = topo.local_link(r2, r1)
+            assert back is not None and back != lid
+
+    def test_local_links_stay_in_group(self, topo):
+        for (r1, r2) in topo._local:
+            assert topo.group_of_router(r1) == topo.group_of_router(r2)
+
+    def test_local_links_share_row_or_column(self, topo):
+        from repro.topology.geometry import router_coord
+
+        p = topo.params
+        for (r1, r2) in topo._local:
+            _, row1, col1 = router_coord(p, r1)
+            _, row2, col2 = router_coord(p, r2)
+            assert row1 == row2 or col1 == col2
+
+    def test_global_links_join_right_groups(self, topo):
+        p = topo.params
+        for g1 in range(p.groups):
+            for g2 in range(p.groups):
+                if g1 == g2:
+                    continue
+                links = topo.global_links(g1, g2)
+                assert len(links) == p.global_links_per_pair
+                for _, a, b in links:
+                    assert topo.group_of_router(a) == g1
+                    assert topo.group_of_router(b) == g2
+
+    def test_global_links_symmetric(self, topo):
+        p = topo.params
+        for g1 in range(p.groups):
+            for g2 in range(g1 + 1, p.groups):
+                fwd = {(a, b) for _, a, b in topo.global_links(g1, g2)}
+                rev = {(b, a) for _, a, b in topo.global_links(g2, g1)}
+                assert fwd == rev
+
+    def test_global_endpoints_spread(self, topo):
+        """Global endpoints are balanced over routers (max-min <= 1)."""
+        p = topo.params
+        counts = np.zeros(p.num_routers, dtype=int)
+        for g1 in range(p.groups):
+            for g2 in range(p.groups):
+                if g1 == g2:
+                    continue
+                for _, a, _ in topo.global_links(g1, g2):
+                    counts[a] += 1
+        for g in range(p.groups):
+            block = counts[
+                g * p.routers_per_group : (g + 1) * p.routers_per_group
+            ]
+            assert block.max() - block.min() <= 1
+
+    def test_router_global_links_consistent(self, topo):
+        p = topo.params
+        total = 0
+        for r in range(p.num_routers):
+            for peer_group, links in topo.router_global_links(r).items():
+                assert peer_group != topo.group_of_router(r)
+                total += len(links)
+        pairs = p.groups * (p.groups - 1) // 2
+        assert total == 2 * pairs * p.global_links_per_pair
+
+    def test_terminal_links_attach_right_router(self, topo):
+        p = topo.params
+        for node in range(p.num_nodes):
+            t_in = topo.terminal_in(node)
+            t_out = topo.terminal_out(node)
+            src, dst = topo.links.endpoints(t_in)
+            assert (src, dst) == (node, topo.router_of(node))
+            src, dst = topo.links.endpoints(t_out)
+            assert (src, dst) == (topo.router_of(node), node)
+
+
+class TestGraphProperties:
+    def test_router_fabric_strongly_connected(self, topo):
+        g = topo.router_graph()
+        assert nx.is_strongly_connected(g)
+
+    def test_diameter_bounded_by_minimal_route_length(self, topo):
+        """Any router pair is reachable within 5 hops (2+1+2)."""
+        g = nx.DiGraph(topo.router_graph())
+        lengths = dict(nx.all_pairs_shortest_path_length(g))
+        diameter = max(max(d.values()) for d in lengths.values())
+        assert diameter <= 5
+
+    def test_intra_group_diameter_two(self, topo):
+        p = topo.params
+        g = nx.DiGraph()
+        for (r1, r2), _ in topo._local.items():
+            if r1 < p.routers_per_group and r2 < p.routers_per_group:
+                g.add_edge(r1, r2)
+        lengths = dict(nx.all_pairs_shortest_path_length(g))
+        assert max(max(d.values()) for d in lengths.values()) <= 2
+
+
+class TestLinkProfiles:
+    def test_profiles_by_kind(self, topo):
+        net = NetworkParams()
+        bw, lat, buf = topo.link_profiles(net)
+        kind = topo.links.kind
+        assert np.all(bw[kind == LinkKind.GLOBAL] == net.global_bw)
+        assert np.all(buf[kind == LinkKind.GLOBAL] == net.global_vc_buffer)
+        assert np.all(bw[kind == LinkKind.LOCAL_ROW] == net.local_bw)
+        assert np.all(buf[kind == LinkKind.TERMINAL_IN] == net.node_vc_buffer)
+        assert np.all(lat[kind == LinkKind.GLOBAL] == net.global_latency_ns)
+
+    def test_local_neighbors(self, topo):
+        p = topo.params
+        neighbors = list(topo.local_neighbors(0))
+        assert len(neighbors) == (p.cols - 1) + (p.rows - 1)
+        for n in neighbors:
+            assert topo.local_link(0, n) is not None
+
+
+class TestLinkTable:
+    def test_frozen_rejects_add(self, topo):
+        with pytest.raises(RuntimeError):
+            topo.links.add(LinkKind.GLOBAL, 0, 1)
+
+    def test_kind_of_matches_arrays(self, topo):
+        for lid in (0, 1, len(topo.links) - 1):
+            assert topo.links.kind_of(lid) == LinkKind(int(topo.links.kind[lid]))

@@ -1,0 +1,142 @@
+"""Trace format round-trip and parse-error tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mpi.dumpi import (
+    MAGIC,
+    TraceParseError,
+    format_trace,
+    load_trace,
+    parse_trace,
+    save_trace,
+)
+from repro.mpi.ops import (
+    Barrier,
+    Compute,
+    Irecv,
+    Isend,
+    Recv,
+    Send,
+    Wait,
+    WaitAll,
+)
+from repro.mpi.trace import JobTrace, RankTrace
+
+ops_strategy = st.lists(
+    st.one_of(
+        st.builds(Send, st.integers(0, 3), st.integers(0, 10**6), st.integers(0, 99)),
+        st.builds(
+            Isend,
+            st.integers(0, 3),
+            st.integers(0, 10**6),
+            st.integers(0, 99),
+            st.integers(0, 9),
+        ),
+        st.builds(Recv, st.integers(-1, 3), st.integers(0, 10**6), st.integers(-1, 99)),
+        st.builds(
+            Irecv,
+            st.integers(-1, 3),
+            st.integers(0, 10**6),
+            st.integers(-1, 99),
+            st.integers(0, 9),
+        ),
+        st.builds(Wait, st.integers(0, 9)),
+        st.just(WaitAll()),
+        st.just(Barrier()),
+        st.builds(Compute, st.floats(0, 1e9, allow_nan=False)),
+    ),
+    max_size=30,
+)
+
+
+class TestRoundTrip:
+    @given(per_rank=st.lists(ops_strategy, min_size=1, max_size=4))
+    @settings(max_examples=40)
+    def test_round_trip_property(self, per_rank):
+        job = JobTrace(
+            "prop", [RankTrace(i, ops) for i, ops in enumerate(per_rank)]
+        )
+        parsed = parse_trace(format_trace(job))
+        assert parsed.name == job.name
+        assert parsed.num_ranks == job.num_ranks
+        for a, b in zip(parsed.ranks, job.ranks):
+            assert a.ops == b.ops
+
+    def test_meta_round_trip(self):
+        job = JobTrace(
+            "meta", [RankTrace(0)], meta={"app": "x", "dims": [2, 2, 2]}
+        )
+        parsed = parse_trace(format_trace(job))
+        assert parsed.meta == job.meta
+
+    def test_file_round_trip(self, tmp_path):
+        r0 = RankTrace(0)
+        r0.send(1, 100)
+        r1 = RankTrace(1)
+        r1.recv(0, 100)
+        job = JobTrace("files", [r0, r1])
+        path = tmp_path / "sub" / "trace.dumpi"
+        save_trace(job, path)
+        loaded = load_trace(path)
+        assert loaded.ranks[0].ops == job.ranks[0].ops
+        assert path.read_text().startswith(MAGIC)
+
+    def test_app_generator_round_trip(self):
+        from repro.apps import amg_trace
+
+        job = amg_trace(num_ranks=8, seed=3)
+        parsed = parse_trace(format_trace(job))
+        for a, b in zip(parsed.ranks, job.ranks):
+            assert a.ops == b.ops
+        parsed.validate()
+
+
+class TestParseErrors:
+    def test_missing_magic(self):
+        with pytest.raises(TraceParseError, match="magic"):
+            parse_trace("job x\nranks 1\n")
+
+    def test_unknown_op(self):
+        text = f"{MAGIC}\njob x\nranks 1\nrank 0\nfrobnicate 1 2\nendrank\n"
+        with pytest.raises(TraceParseError, match="frobnicate"):
+            parse_trace(text)
+
+    def test_op_outside_rank_section(self):
+        text = f"{MAGIC}\njob x\nranks 1\nsend 0 1 0\n"
+        with pytest.raises(TraceParseError, match="outside"):
+            parse_trace(text)
+
+    def test_unterminated_rank(self):
+        text = f"{MAGIC}\njob x\nranks 1\nrank 0\nsend 0 1 0\n"
+        with pytest.raises(TraceParseError, match="unterminated"):
+            parse_trace(text)
+
+    def test_rank_count_mismatch(self):
+        text = f"{MAGIC}\njob x\nranks 2\nrank 0\nendrank\n"
+        with pytest.raises(TraceParseError, match="declares"):
+            parse_trace(text)
+
+    def test_out_of_order_ranks(self):
+        text = f"{MAGIC}\njob x\nranks 2\nrank 1\nendrank\nrank 0\nendrank\n"
+        with pytest.raises(TraceParseError, match="expected rank"):
+            parse_trace(text)
+
+    def test_malformed_fields(self):
+        text = f"{MAGIC}\njob x\nranks 1\nrank 0\nsend abc\nendrank\n"
+        with pytest.raises(TraceParseError, match="malformed"):
+            parse_trace(text)
+
+    def test_comments_and_blanks_ignored(self):
+        text = (
+            f"{MAGIC}\n\n# comment\njob x\nranks 1\nrank 0\n"
+            "# inner comment\n\nbarrier\nendrank\n"
+        )
+        job = parse_trace(text)
+        assert job.ranks[0].ops == [Barrier()]
+
+    def test_error_carries_line_number(self):
+        text = f"{MAGIC}\njob x\nranks 1\nrank 0\nbogus\nendrank\n"
+        with pytest.raises(TraceParseError) as exc:
+            parse_trace(text)
+        assert exc.value.lineno == 5

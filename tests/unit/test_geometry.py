@@ -1,0 +1,109 @@
+"""Unit + property tests for id/coordinate arithmetic."""
+
+from hypothesis import given, strategies as st
+
+from repro.config import DragonflyParams
+from repro.topology import geometry as geo
+
+
+def params_strategy():
+    return st.builds(
+        DragonflyParams,
+        groups=st.integers(2, 6),
+        rows=st.integers(1, 4),
+        cols=st.integers(1, 5),
+        nodes_per_router=st.integers(1, 4),
+        chassis_per_cabinet=st.just(1),
+        global_links_per_pair=st.integers(1, 4),
+    )
+
+
+class TestRouterCoord:
+    def test_round_trip_explicit(self, medium_params):
+        p = medium_params
+        for r in range(p.num_routers):
+            g, row, col = geo.router_coord(p, r)
+            assert geo.router_id(p, g, row, col) == r
+
+    @given(params=params_strategy(), data=st.data())
+    def test_round_trip_property(self, params, data):
+        r = data.draw(st.integers(0, params.num_routers - 1))
+        g, row, col = geo.router_coord(params, r)
+        assert 0 <= g < params.groups
+        assert 0 <= row < params.rows
+        assert 0 <= col < params.cols
+        assert geo.router_id(params, g, row, col) == r
+
+    def test_row_major_within_group(self, medium_params):
+        p = medium_params
+        # Router 1 is in the same row as router 0, next column.
+        assert geo.router_coord(p, 0) == (0, 0, 0)
+        assert geo.router_coord(p, 1) == (0, 0, 1)
+        assert geo.router_coord(p, p.cols) == (0, 1, 0)
+
+    def test_group_boundary(self, medium_params):
+        p = medium_params
+        last_of_g0 = p.routers_per_group - 1
+        assert geo.router_group(p, last_of_g0) == 0
+        assert geo.router_group(p, last_of_g0 + 1) == 1
+
+
+class TestNodeMapping:
+    @given(params=params_strategy(), data=st.data())
+    def test_node_round_trip(self, params, data):
+        n = data.draw(st.integers(0, params.num_nodes - 1))
+        r = geo.node_router(params, n)
+        slot = geo.node_slot(params, n)
+        assert geo.node_id(params, r, slot) == n
+        assert 0 <= slot < params.nodes_per_router
+
+    def test_nodes_of_router_contiguous(self, medium_params):
+        p = medium_params
+        nodes = [geo.node_id(p, 3, s) for s in range(p.nodes_per_router)]
+        assert nodes == list(range(nodes[0], nodes[0] + p.nodes_per_router))
+
+    @given(params=params_strategy(), data=st.data())
+    def test_node_group_consistent(self, params, data):
+        n = data.draw(st.integers(0, params.num_nodes - 1))
+        assert geo.node_group(params, n) == geo.router_group(
+            params, geo.node_router(params, n)
+        )
+
+
+class TestHierarchy:
+    def test_chassis_is_one_row(self, medium_params):
+        p = medium_params
+        # All routers of row 0 of group 0 share chassis 0.
+        chassis = {geo.chassis_id(p, r) for r in range(p.cols)}
+        assert chassis == {0}
+        # Next row is the next chassis.
+        assert geo.chassis_id(p, p.cols) == 1
+
+    def test_cabinet_groups_chassis(self, medium_params):
+        p = medium_params  # chassis_per_cabinet=3, rows=3 -> 1 cabinet/group
+        for r in range(p.routers_per_group):
+            assert geo.cabinet_id(p, r) == 0
+        assert geo.cabinet_id(p, p.routers_per_group) == 1
+
+    @given(params=params_strategy(), data=st.data())
+    def test_chassis_ids_dense(self, params, data):
+        n = data.draw(st.integers(0, params.num_nodes - 1))
+        c = geo.node_chassis(params, n)
+        assert 0 <= c < params.num_chassis
+
+    @given(params=params_strategy(), data=st.data())
+    def test_cabinet_ids_dense(self, params, data):
+        n = data.draw(st.integers(0, params.num_nodes - 1))
+        c = geo.node_cabinet(params, n)
+        assert 0 <= c < params.num_cabinets
+
+    @given(params=params_strategy(), data=st.data())
+    def test_hierarchy_nesting(self, params, data):
+        """Two nodes in the same chassis share the cabinet and group."""
+        n1 = data.draw(st.integers(0, params.num_nodes - 1))
+        n2 = data.draw(st.integers(0, params.num_nodes - 1))
+        if geo.node_chassis(params, n1) == geo.node_chassis(params, n2):
+            assert geo.node_cabinet(params, n1) == geo.node_cabinet(params, n2)
+            assert geo.node_group(params, n1) == geo.node_group(params, n2)
+        if geo.node_router(params, n1) == geo.node_router(params, n2):
+            assert geo.node_chassis(params, n1) == geo.node_chassis(params, n2)

@@ -1,0 +1,85 @@
+"""Interference-study unit tests (paper Section IV-C machinery)."""
+
+import pytest
+
+import repro
+from repro.core.interference import (
+    BackgroundSpec,
+    background_load_table,
+    interference_study,
+)
+
+
+class TestBackgroundSpec:
+    def test_uniform_build(self):
+        spec = BackgroundSpec("uniform", 1000, 5000.0)
+        inj = spec.build(list(range(6)), seed=1)
+        assert inj.peak_load_bytes() == 6000
+
+    def test_bursty_build_full_fanout(self):
+        spec = BackgroundSpec("bursty", 1000, 1e6)
+        inj = spec.build(list(range(6)), seed=1)
+        assert inj.fanout == 5
+        assert spec.peak_load_bytes(6) == 6 * 5 * 1000
+
+    def test_bursty_build_limited_fanout(self):
+        spec = BackgroundSpec("bursty", 1000, 1e6, fanout=2)
+        assert spec.peak_load_bytes(6) == 6 * 2 * 1000
+
+    def test_pattern_validated(self):
+        with pytest.raises(ValueError):
+            BackgroundSpec("poisson", 1000, 1.0)
+        with pytest.raises(ValueError):
+            BackgroundSpec("uniform", 0, 1.0)
+        with pytest.raises(ValueError):
+            BackgroundSpec("uniform", 10, 0.0)
+
+
+class TestInterferenceStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        cfg = repro.tiny()
+        trace = repro.amg_trace(num_ranks=8, seed=1).scaled(0.3)
+        spec = BackgroundSpec("uniform", message_bytes=2048, interval_ns=3000.0)
+        return interference_study(
+            cfg,
+            trace,
+            spec,
+            placements=("cont", "rand"),
+            routings=("min", "adp"),
+            seed=1,
+        )
+
+    def test_grid_complete(self, study):
+        assert len(study.runs) == 4
+
+    def test_background_traffic_present(self, study):
+        for result in study.runs.values():
+            assert result.background_messages > 0
+
+    def test_background_slows_target(self, study):
+        """The same app runs slower with background than alone."""
+        cfg = repro.tiny()
+        trace = repro.amg_trace(num_ranks=8, seed=1).scaled(0.3)
+        alone = repro.run_single(cfg, trace, "rand", "adp", seed=1)
+        shared = study.get("AMG", "rand-adp")
+        assert (
+            shared.metrics.median_comm_time_ns
+            >= alone.metrics.median_comm_time_ns
+        )
+
+
+class TestTable2:
+    def test_background_load_table(self):
+        specs = {
+            "CR": {
+                "uniform": BackgroundSpec("uniform", 16_000, 1000.0),
+                "bursty": BackgroundSpec("bursty", 40_000_000, 6e7),
+            },
+        }
+        rows = background_load_table(specs, {"CR": 2400})
+        (row,) = rows
+        app, uniform_mb, bursty_gb = row
+        assert app == "CR"
+        assert uniform_mb == pytest.approx(2400 * 16_000 / 1e6)
+        assert bursty_gb == pytest.approx(2400 * 2399 * 40_000_000 / 1e9)

@@ -1,0 +1,59 @@
+"""LinkKind/LinkTable unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.topology.links import LinkKind, LinkTable
+
+
+class TestLinkKind:
+    def test_is_local(self):
+        assert LinkKind.LOCAL_ROW.is_local
+        assert LinkKind.LOCAL_COL.is_local
+        assert not LinkKind.GLOBAL.is_local
+        assert not LinkKind.TERMINAL_IN.is_local
+
+    def test_is_terminal(self):
+        assert LinkKind.TERMINAL_IN.is_terminal
+        assert LinkKind.TERMINAL_OUT.is_terminal
+        assert not LinkKind.LOCAL_ROW.is_terminal
+
+
+class TestLinkTable:
+    def build(self):
+        t = LinkTable()
+        assert t.add(LinkKind.TERMINAL_IN, 0, 10) == 0
+        assert t.add(LinkKind.LOCAL_ROW, 10, 11) == 1
+        assert t.add(LinkKind.GLOBAL, 10, 20) == 2
+        return t
+
+    def test_len_and_endpoints_before_freeze(self):
+        t = self.build()
+        assert len(t) == 3
+        assert t.endpoints(2) == (10, 20)
+        assert t.kind_of(1) == LinkKind.LOCAL_ROW
+
+    def test_freeze_makes_arrays_immutable(self):
+        t = self.build()
+        t.freeze()
+        assert isinstance(t.kind, np.ndarray)
+        with pytest.raises(ValueError):
+            t.kind[0] = 3
+        with pytest.raises(RuntimeError):
+            t.add(LinkKind.GLOBAL, 1, 2)
+
+    def test_freeze_idempotent(self):
+        t = self.build()
+        t.freeze()
+        kind = t.kind
+        t.freeze()
+        assert t.kind is kind
+
+    def test_kind_queries_require_freeze(self):
+        t = self.build()
+        with pytest.raises(RuntimeError):
+            t.local_ids()
+        t.freeze()
+        assert list(t.local_ids()) == [1]
+        assert list(t.global_ids()) == [2]
+        assert list(t.ids_of_kind(LinkKind.TERMINAL_IN)) == [0]

@@ -1,0 +1,147 @@
+"""Metric analysis helper tests (CDFs, box stats, timelines)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.analysis import (
+    BoxStats,
+    box_stats,
+    cdf,
+    load_timeline,
+    percent_improvement,
+)
+
+floats = st.lists(
+    st.floats(0, 1e9, allow_nan=False, allow_infinity=False), min_size=1, max_size=200
+)
+
+
+class TestCdf:
+    def test_simple(self):
+        x, pct = cdf([3.0, 1.0, 2.0])
+        assert list(x) == [1.0, 2.0, 3.0]
+        assert list(pct) == [pytest.approx(100 / 3), pytest.approx(200 / 3), 100.0]
+
+    def test_empty(self):
+        x, pct = cdf([])
+        assert x.size == 0 and pct.size == 0
+
+    @given(floats)
+    def test_properties(self, values):
+        x, pct = cdf(values)
+        assert (np.diff(x) >= 0).all()
+        assert (np.diff(pct) > 0).all()
+        assert pct[-1] == 100.0
+        assert x.size == len(values)
+
+    @given(floats)
+    def test_percentile_consistency(self, values):
+        x, pct = cdf(values)
+        # At every point, pct% of values are <= x.
+        for xi, pi in zip(x[:: max(1, len(x) // 10)], pct[:: max(1, len(x) // 10)]):
+            below = sum(1 for v in values if v <= xi)
+            assert below >= pi / 100.0 * len(values) - 1e-9
+
+
+class TestBoxStats:
+    def test_five_numbers(self):
+        b = box_stats([1, 2, 3, 4, 5])
+        assert b == BoxStats(1, 2, 3, 4, 5)
+
+    def test_empty_is_nan(self):
+        b = box_stats([])
+        assert np.isnan(b.median)
+
+    @given(floats)
+    def test_ordering_property(self, values):
+        b = box_stats(values)
+        assert b.minimum <= b.q1 <= b.median <= b.q3 <= b.maximum
+
+    @given(floats)
+    def test_bounds_match_data(self, values):
+        b = box_stats(values)
+        assert b.minimum == min(values)
+        assert b.maximum == max(values)
+
+    def test_scaled(self):
+        b = box_stats([1, 2, 3, 4, 5]).scaled(2.0)
+        assert b == BoxStats(2, 4, 6, 8, 10)
+
+
+class TestLoadTimeline:
+    def test_bins_and_average(self):
+        events = [(0.0, 0, 100), (10.0, 1, 300), (95.0, 0, 500)]
+        centers, loads = load_timeline(events, num_ranks=2, num_bins=2, t_end=100.0)
+        assert len(centers) == 2
+        assert loads[0] == pytest.approx((100 + 300) / 2)
+        assert loads[1] == pytest.approx(500 / 2)
+
+    def test_empty(self):
+        centers, loads = load_timeline([], num_ranks=4)
+        assert centers.size == 0
+
+    def test_total_preserved(self):
+        events = [(float(i), i % 3, 10 * i) for i in range(50)]
+        _, loads = load_timeline(events, num_ranks=3, num_bins=7)
+        assert loads.sum() * 3 == pytest.approx(sum(10 * i for i in range(50)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            load_timeline([(0.0, 0, 1)], num_ranks=0)
+        with pytest.raises(ValueError):
+            load_timeline([(0.0, 0, 1)], num_ranks=1, num_bins=0)
+
+
+class TestPercentImprovement:
+    def test_positive_when_better(self):
+        assert percent_improvement(100.0, 92.0) == pytest.approx(8.0)
+
+    def test_negative_when_worse(self):
+        assert percent_improvement(100.0, 110.0) == pytest.approx(-10.0)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            percent_improvement(0.0, 1.0)
+
+
+class TestRunMetrics:
+    def test_extraction_restricted_to_job_routers(self):
+        """Channel arrays cover exactly the local/global links of the
+        routers serving the job's nodes."""
+        import repro
+
+        cfg = repro.tiny()
+        trace = repro.crystal_router_trace(num_ranks=8, seed=1).scaled(0.02)
+        result = repro.run_single(cfg, trace, "cont", "min", seed=1)
+        topo = repro.core.runner.build_topology(cfg.topology)
+        routers = {topo.router_of(n) for n in result.nodes}
+        from repro.topology.links import LinkKind
+
+        kind = topo.links.kind
+        src = topo.links.src
+        n_local = sum(
+            1
+            for lid in range(topo.num_links)
+            if kind[lid] in (LinkKind.LOCAL_ROW, LinkKind.LOCAL_COL)
+            and src[lid] in routers
+        )
+        assert len(result.metrics.local_traffic_bytes) == n_local
+
+    def test_summary_keys(self):
+        import repro
+
+        cfg = repro.tiny()
+        trace = repro.amg_trace(num_ranks=8, seed=1).scaled(0.1)
+        result = repro.run_single(cfg, trace, "rand", "adp", seed=1)
+        s = result.metrics.summary()
+        assert set(s) == {
+            "max_comm_ms",
+            "median_comm_ms",
+            "mean_hops",
+            "local_traffic_mb",
+            "global_traffic_mb",
+            "local_sat_ms",
+            "global_sat_ms",
+        }
+        assert s["max_comm_ms"] >= s["median_comm_ms"] > 0

@@ -1,0 +1,49 @@
+"""Operation record tests."""
+
+from repro.mpi.ops import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Barrier,
+    Compute,
+    Irecv,
+    Isend,
+    Recv,
+    Send,
+    Wait,
+    WaitAll,
+)
+
+
+class TestOpRecords:
+    def test_defaults(self):
+        assert Send(1, 100).tag == 0
+        assert Isend(1, 100).req == 0
+        assert Recv(1, 100).tag == 0
+
+    def test_structural_equality(self):
+        assert Send(1, 100, 2) == Send(1, 100, 2)
+        assert Send(1, 100, 2) != Send(1, 100, 3)
+        assert Barrier() == Barrier()
+        assert WaitAll() == WaitAll()
+
+    def test_wildcards_are_negative_sentinels(self):
+        assert ANY_SOURCE == -1
+        assert ANY_TAG == -1
+        r = Recv(ANY_SOURCE, 10, ANY_TAG)
+        assert r.src == ANY_SOURCE and r.tag == ANY_TAG
+
+    def test_ops_are_hashable(self):
+        ops = {Send(1, 2), Wait(0), Compute(5.0)}
+        assert len(ops) == 3
+
+    def test_namedtuple_equality_is_positional(self):
+        """Known NamedTuple behaviour: ops of different types with the
+        same field values compare equal as tuples. All engine dispatch
+        is type-based, so this never affects replay; compare
+        ``(type(op), op)`` where the distinction matters."""
+        assert Send(1, 2) == Recv(1, 2)  # positionally identical
+        assert (type(Send(1, 2)), Send(1, 2)) != (type(Recv(1, 2)), Recv(1, 2))
+
+    def test_fields_accessible_by_name(self):
+        op = Irecv(src=3, size=64, tag=9, req=2)
+        assert (op.src, op.size, op.tag, op.req) == (3, 64, 9, 2)

@@ -1,0 +1,70 @@
+"""Message/packet unit tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.network.packet import CONTROL_PACKET_BYTES, Message, packetize
+
+
+def make_msg(size, src=0, dst=1):
+    return Message(1, src, dst, size)
+
+
+class TestMessage:
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            make_msg(-1)
+
+    def test_rejects_self_send(self):
+        with pytest.raises(ValueError):
+            Message(1, 3, 3, 100)
+
+    def test_wire_size_zero_payload(self):
+        assert make_msg(0).wire_size == CONTROL_PACKET_BYTES
+
+    def test_wire_size_payload(self):
+        assert make_msg(12345).wire_size == 12345
+
+    def test_avg_hops_empty(self):
+        assert make_msg(10).avg_hops == 0.0
+
+
+class TestPacketize:
+    def test_exact_multiple(self):
+        msg = make_msg(4096)
+        pkts = packetize(msg, 2048, first_link=7)
+        assert [p.size for p in pkts] == [2048, 2048]
+        assert msg.num_packets == 2
+
+    def test_remainder(self):
+        msg = make_msg(5000)
+        pkts = packetize(msg, 2048, first_link=7)
+        assert [p.size for p in pkts] == [2048, 2048, 904]
+
+    def test_small_message_single_packet(self):
+        msg = make_msg(100)
+        pkts = packetize(msg, 2048, first_link=7)
+        assert [p.size for p in pkts] == [100]
+
+    def test_zero_size_costs_control_packet(self):
+        msg = make_msg(0)
+        pkts = packetize(msg, 2048, first_link=7)
+        assert [p.size for p in pkts] == [CONTROL_PACKET_BYTES]
+
+    def test_only_final_packet_flagged_last(self):
+        msg = make_msg(10000)
+        pkts = packetize(msg, 2048, first_link=7)
+        assert [p.last for p in pkts] == [False] * (len(pkts) - 1) + [True]
+
+    def test_route_starts_with_first_link(self):
+        msg = make_msg(100)
+        (pkt,) = packetize(msg, 2048, first_link=42)
+        assert pkt.route == [42]
+        assert pkt.hop == 0
+
+    @given(st.integers(0, 10_000_000), st.sampled_from([512, 1024, 2048, 4096]))
+    def test_sizes_sum_to_wire_size(self, size, packet_size):
+        msg = make_msg(size)
+        pkts = packetize(msg, packet_size, first_link=0)
+        assert sum(p.size for p in pkts) == msg.wire_size
+        assert all(0 < p.size <= packet_size for p in pkts)

@@ -1,0 +1,185 @@
+"""Placement-policy tests (paper Section III-B invariants)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import DragonflyParams
+from repro.engine.rng import rng_stream
+from repro.placement import (
+    PLACEMENT_NAMES,
+    Machine,
+    make_placement,
+)
+from repro.topology.geometry import (
+    node_cabinet,
+    node_chassis,
+    node_group,
+    node_router,
+)
+
+PARAMS = DragonflyParams(
+    groups=4, rows=4, cols=4, nodes_per_router=2,
+    chassis_per_cabinet=2, global_links_per_pair=4,
+)
+
+
+def allocate(name, n, seed=0, params=PARAMS):
+    return Machine(params).allocate(name, n, seed=seed)
+
+
+class TestCommonInvariants:
+    @pytest.mark.parametrize("name", PLACEMENT_NAMES)
+    @pytest.mark.parametrize("n", [1, 7, 32, PARAMS.num_nodes])
+    def test_exact_distinct_in_range(self, name, n):
+        nodes = allocate(name, n)
+        assert len(nodes) == n
+        assert len(set(nodes)) == n
+        assert all(0 <= x < PARAMS.num_nodes for x in nodes)
+
+    @pytest.mark.parametrize("name", PLACEMENT_NAMES)
+    def test_deterministic_per_seed(self, name):
+        assert allocate(name, 20, seed=5) == allocate(name, 20, seed=5)
+
+    @pytest.mark.parametrize("name", ["cab", "chas", "rotr", "rand"])
+    def test_seed_changes_allocation(self, name):
+        a = allocate(name, 20, seed=1)
+        b = allocate(name, 20, seed=2)
+        assert a != b
+
+    @given(
+        name=st.sampled_from(PLACEMENT_NAMES),
+        n=st.integers(1, PARAMS.num_nodes),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_valid_allocation(self, name, n, seed):
+        nodes = allocate(name, n, seed)
+        assert len(nodes) == n == len(set(nodes))
+
+
+class TestContiguous:
+    def test_takes_prefix(self):
+        assert allocate("cont", 10) == list(range(10))
+
+    def test_respects_free_list(self):
+        m = Machine(PARAMS)
+        first = m.allocate("cont", 10)
+        second = m.allocate("cont", 10)
+        assert second == list(range(10, 20))
+        assert not set(first) & set(second)
+
+
+class TestGranularity:
+    def _containers_partially_filled(self, nodes, container_of, capacity):
+        """Count containers that are touched but not completely used."""
+        from collections import Counter
+
+        counts = Counter(container_of(PARAMS, n) for n in nodes)
+        return sum(1 for c in counts.values() if c < capacity)
+
+    def test_cabinet_placement_fills_cabinets(self):
+        n = PARAMS.nodes_per_cabinet * 3
+        nodes = allocate("cab", n, seed=3)
+        partial = self._containers_partially_filled(
+            nodes, node_cabinet, PARAMS.nodes_per_cabinet
+        )
+        assert partial == 0
+
+    def test_chassis_placement_fills_chassis(self):
+        n = PARAMS.nodes_per_chassis * 5
+        nodes = allocate("chas", n, seed=3)
+        partial = self._containers_partially_filled(
+            nodes, node_chassis, PARAMS.nodes_per_chassis
+        )
+        assert partial == 0
+
+    def test_router_placement_fills_routers(self):
+        n = PARAMS.nodes_per_router * 9
+        nodes = allocate("rotr", n, seed=3)
+        partial = self._containers_partially_filled(
+            nodes, node_router, PARAMS.nodes_per_router
+        )
+        assert partial == 0
+
+    def test_at_most_one_partial_container(self):
+        # A non-multiple request leaves exactly one partially-used cabinet.
+        n = PARAMS.nodes_per_cabinet * 2 + 3
+        nodes = allocate("cab", n, seed=1)
+        partial = self._containers_partially_filled(
+            nodes, node_cabinet, PARAMS.nodes_per_cabinet
+        )
+        assert partial == 1
+
+
+class TestLocalitySpectrum:
+    def test_group_spread_ordering(self):
+        """cont concentrates groups; rand spreads them the most."""
+        n = PARAMS.nodes_per_group  # one group's worth of nodes
+        spreads = {}
+        for name in PLACEMENT_NAMES:
+            nodes = allocate(name, n, seed=7)
+            spreads[name] = len({node_group(PARAMS, x) for x in nodes})
+        assert spreads["cont"] == 1
+        assert spreads["cont"] <= spreads["cab"] <= spreads["rand"]
+        assert spreads["rand"] >= 3
+
+    def test_router_spread_ordering(self):
+        n = 32
+        routers = {}
+        for name in PLACEMENT_NAMES:
+            nodes = allocate(name, n, seed=7)
+            routers[name] = len({node_router(PARAMS, x) for x in nodes})
+        # Contiguous and router placement pack routers fully; random-node
+        # touches the most routers.
+        assert routers["cont"] == n // PARAMS.nodes_per_router
+        assert routers["rotr"] == n // PARAMS.nodes_per_router
+        assert routers["rand"] >= routers["cont"]
+
+
+class TestMachine:
+    def test_over_allocation_rejected(self):
+        m = Machine(PARAMS)
+        with pytest.raises(ValueError, match="free"):
+            m.allocate("cont", PARAMS.num_nodes + 1)
+
+    def test_zero_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            Machine(PARAMS).allocate("cont", 0)
+
+    def test_release_returns_nodes(self):
+        m = Machine(PARAMS)
+        nodes = m.allocate("rand", 10, seed=1)
+        m.release(nodes)
+        assert m.num_free == PARAMS.num_nodes
+
+    def test_release_rejects_double_free(self):
+        m = Machine(PARAMS)
+        nodes = m.allocate("rand", 10, seed=1)
+        m.release(nodes)
+        with pytest.raises(ValueError):
+            m.release(nodes)
+
+    def test_free_nodes_sorted(self):
+        m = Machine(PARAMS)
+        m.allocate("rand", 30, seed=2)
+        free = m.free_nodes()
+        assert free == sorted(free)
+        assert len(free) == PARAMS.num_nodes - 30
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown placement"):
+            Machine(PARAMS).allocate("bogus", 4)
+
+    def test_long_names_accepted(self):
+        nodes = Machine(PARAMS).allocate("random-node", 4, seed=0)
+        assert len(nodes) == 4
+
+    def test_policy_instance_accepted(self):
+        policy = make_placement("cont")
+        nodes = Machine(PARAMS).allocate(policy, 4)
+        assert nodes == [0, 1, 2, 3]
+
+    def test_non_policy_rejected(self):
+        with pytest.raises(TypeError):
+            Machine(PARAMS).allocate(42, 4)

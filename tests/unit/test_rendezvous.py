@@ -1,0 +1,165 @@
+"""Rendezvous-protocol tests (eager_threshold semantics)."""
+
+import pytest
+
+from repro.config import tiny
+from repro.core.runner import build_topology
+from repro.engine.simulator import Simulator
+from repro.mpi.ops import ANY_SOURCE
+from repro.mpi.replay import ReplayEngine
+from repro.mpi.trace import JobTrace, RankTrace
+from repro.network.fabric import Fabric
+from repro.routing import MinimalRouting
+
+THRESHOLD = 4096
+BIG = 64_000
+SMALL = 512
+
+
+def run_job(ranks, threshold=THRESHOLD, compute_scale=0.0):
+    cfg = tiny()
+    topo = build_topology(cfg.topology)
+    sim = Simulator()
+    fabric = Fabric(sim, topo, cfg.network, MinimalRouting(seed=0))
+    engine = ReplayEngine(
+        sim, fabric, compute_scale=compute_scale, eager_threshold=threshold
+    )
+    job = JobTrace("rdv", ranks)
+    engine.add_job(0, job, list(range(job.num_ranks)))
+    engine.run(target_job=0)
+    return engine.job_result(0), fabric, sim
+
+
+class TestRendezvousBasics:
+    def test_large_message_completes(self):
+        r0 = RankTrace(0)
+        r0.send(1, BIG)
+        r1 = RankTrace(1)
+        r1.recv(0, BIG)
+        result, fabric, _ = run_job([r0, r1])
+        assert result.bytes_recv[1] == BIG
+        # RTS + CTS + payload crossed the fabric.
+        assert fabric.messages_delivered == 3
+
+    def test_small_message_stays_eager(self):
+        r0 = RankTrace(0)
+        r0.send(1, SMALL)
+        r1 = RankTrace(1)
+        r1.recv(0, SMALL)
+        result, fabric, _ = run_job([r0, r1])
+        assert fabric.messages_delivered == 1
+
+    def test_rts_waits_for_late_receiver(self):
+        """The payload does not move until the recv posts."""
+        r0 = RankTrace(0)
+        r0.send(1, BIG)
+        r1 = RankTrace(1)
+        r1.compute(1_000_000.0)
+        r1.recv(0, BIG)
+        result, _, sim = run_job([r0, r1], compute_scale=1.0)
+        # Sender's blocking Send cannot finish before the receiver posts.
+        assert result.finish_time_ns[0] > 1_000_000.0
+
+    def test_eager_send_does_not_wait(self):
+        """Contrast: below the threshold the sender finishes early."""
+        r0 = RankTrace(0)
+        r0.send(1, SMALL)
+        r1 = RankTrace(1)
+        r1.compute(1_000_000.0)
+        r1.recv(0, SMALL)
+        result, _, _ = run_job([r0, r1], compute_scale=1.0)
+        assert result.finish_time_ns[0] < 1_000_000.0
+
+    def test_nonblocking_rendezvous(self):
+        r0 = RankTrace(0)
+        r0.isend(1, BIG, tag=3, req=0)
+        r0.wait(0)
+        r1 = RankTrace(1)
+        r1.irecv(0, BIG, tag=3, req=0)
+        r1.wait(0)
+        result, fabric, _ = run_job([r0, r1])
+        assert result.bytes_recv[1] == BIG
+
+    def test_recv_posted_first(self):
+        """CTS returns immediately when the recv was already posted."""
+        r0 = RankTrace(0)
+        r0.compute(500_000.0)
+        r0.send(1, BIG)
+        r1 = RankTrace(1)
+        r1.recv(0, BIG)
+        result, fabric, _ = run_job([r0, r1], compute_scale=1.0)
+        assert result.bytes_recv[1] == BIG
+
+    def test_wildcard_recv_matches_rts(self):
+        r0 = RankTrace(0)
+        r0.send(1, BIG, tag=9)
+        r1 = RankTrace(1)
+        r1.recv(ANY_SOURCE, BIG, tag=9)
+        result, _, _ = run_job([r0, r1])
+        assert result.bytes_recv[1] == BIG
+
+
+class TestMixedTraffic:
+    def test_eager_and_rendezvous_interleaved(self):
+        r0 = RankTrace(0)
+        r0.isend(1, SMALL, tag=1, req=0)
+        r0.isend(1, BIG, tag=2, req=1)
+        r0.waitall()
+        r1 = RankTrace(1)
+        r1.irecv(0, BIG, tag=2, req=0)
+        r1.irecv(0, SMALL, tag=1, req=1)
+        r1.waitall()
+        result, _, _ = run_job([r0, r1])
+        assert result.bytes_recv[1] == SMALL + BIG
+
+    def test_many_pairs_conserve_bytes(self):
+        n = 8
+        ranks = []
+        for i in range(n):
+            t = RankTrace(i)
+            peer = i ^ 1
+            t.irecv(peer, BIG, tag=0, req=0)
+            t.isend(peer, BIG, tag=0, req=1)
+            t.waitall()
+            ranks.append(t)
+        result, fabric, _ = run_job(ranks)
+        assert fabric.bytes_injected == fabric.bytes_delivered
+        assert (result.bytes_recv == BIG).all()
+
+    def test_app_trace_replays_under_rendezvous(self):
+        import repro
+
+        trace = repro.fill_boundary_trace(num_ranks=8, seed=4).scaled(0.02)
+        cfg = tiny()
+        topo = build_topology(cfg.topology)
+        sim = Simulator()
+        fabric = Fabric(sim, topo, cfg.network, MinimalRouting(seed=0))
+        engine = ReplayEngine(sim, fabric, eager_threshold=THRESHOLD)
+        engine.add_job(0, trace, list(range(8)))
+        engine.run(target_job=0)
+        result = engine.job_result(0)
+        assert result.bytes_recv.sum() == trace.total_bytes()
+
+
+class TestRendezvousCost:
+    def test_handshake_adds_latency(self):
+        """The same exchange is never faster under rendezvous."""
+
+        def build():
+            r0 = RankTrace(0)
+            r0.send(1, BIG)
+            r1 = RankTrace(1)
+            r1.recv(0, BIG)
+            return [r0, r1]
+
+        eager, _, _ = run_job(build(), threshold=None)
+        rdv, _, _ = run_job(build(), threshold=THRESHOLD)
+        assert rdv.finish_time_ns[1] >= eager.finish_time_ns[1]
+
+    def test_threshold_validation(self):
+        cfg = tiny()
+        topo = build_topology(cfg.topology)
+        sim = Simulator()
+        fabric = Fabric(sim, topo, cfg.network, MinimalRouting(seed=0))
+        with pytest.raises(ValueError):
+            ReplayEngine(sim, fabric, eager_threshold=-1)

@@ -1,0 +1,292 @@
+"""Replay-engine semantics: matching, blocking, barriers, accounting."""
+
+import pytest
+
+from repro.config import tiny
+from repro.core.runner import build_topology
+from repro.engine.simulator import Simulator
+from repro.mpi.ops import ANY_SOURCE, ANY_TAG
+from repro.mpi.replay import ReplayEngine, ReplayStalled
+from repro.mpi.trace import JobTrace, RankTrace
+from repro.network.fabric import Fabric
+from repro.routing import MinimalRouting
+
+
+def make_engine(compute_scale=0.0, record_sends=False):
+    cfg = tiny()
+    topo = build_topology(cfg.topology)
+    sim = Simulator()
+    fabric = Fabric(sim, topo, cfg.network, MinimalRouting(seed=0))
+    engine = ReplayEngine(
+        sim, fabric, compute_scale=compute_scale, record_sends=record_sends
+    )
+    return sim, fabric, engine
+
+
+def run_job(ranks, nodes=None, **kwargs):
+    sim, fabric, engine = make_engine(**kwargs)
+    job = JobTrace("t", ranks)
+    engine.add_job(0, job, nodes or list(range(job.num_ranks)))
+    engine.run(target_job=0)
+    return engine.job_result(0), fabric, sim
+
+
+class TestBasicExchange:
+    def test_send_recv_completes(self):
+        r0 = RankTrace(0)
+        r0.send(1, 5000)
+        r1 = RankTrace(1)
+        r1.recv(0, 5000)
+        result, fabric, sim = run_job([r0, r1])
+        assert (result.finish_time_ns > 0).all()
+        assert result.bytes_sent[0] == 5000
+        assert result.bytes_recv[1] == 5000
+
+    def test_recv_posted_before_send_arrives(self):
+        r0 = RankTrace(0)
+        r0.compute(1_000_000.0)  # delay the send
+        r0.send(1, 100)
+        r1 = RankTrace(1)
+        r1.recv(0, 100)
+        result, _, _ = run_job([r0, r1], compute_scale=1.0)
+        # Receiver had to wait for the delayed sender.
+        assert result.finish_time_ns[1] >= 1_000_000.0
+
+    def test_unexpected_message_then_recv(self):
+        r0 = RankTrace(0)
+        r0.send(1, 100)
+        r1 = RankTrace(1)
+        r1.compute(1_000_000.0)  # message arrives before the recv posts
+        r1.recv(0, 100)
+        result, _, _ = run_job([r0, r1], compute_scale=1.0)
+        # Recv completes instantly at post time.
+        assert result.finish_time_ns[1] == pytest.approx(1_000_000.0, rel=0.01)
+
+    def test_nonblocking_pair_with_waitall(self):
+        r0 = RankTrace(0)
+        r0.irecv(1, 200, tag=1, req=0)
+        r0.isend(1, 200, tag=1, req=1)
+        r0.waitall()
+        r1 = RankTrace(1)
+        r1.irecv(0, 200, tag=1, req=0)
+        r1.isend(0, 200, tag=1, req=1)
+        r1.waitall()
+        result, fabric, _ = run_job([r0, r1])
+        assert fabric.messages_delivered == 2
+
+    def test_wait_on_specific_request(self):
+        r0 = RankTrace(0)
+        r0.isend(1, 100, tag=0, req=7)
+        r0.wait(7)
+        r1 = RankTrace(1)
+        r1.irecv(0, 100, tag=0, req=3)
+        r1.wait(3)
+        result, _, _ = run_job([r0, r1])
+        assert (result.finish_time_ns > 0).all()
+
+    def test_wait_on_completed_request_is_noop(self):
+        r0 = RankTrace(0)
+        r0.send(1, 100)
+        r0.wait(99)  # never issued -> treated as complete
+        r1 = RankTrace(1)
+        r1.recv(0, 100)
+        run_job([r0, r1])
+
+
+class TestMatchingSemantics:
+    def test_tag_matching(self):
+        """Messages match on tags, not arrival order."""
+        r0 = RankTrace(0)
+        r0.send(1, 111, tag=1)
+        r0.send(1, 222, tag=2)
+        r1 = RankTrace(1)
+        r1.recv(0, 222, tag=2)
+        r1.recv(0, 111, tag=1)
+        result, _, _ = run_job([r0, r1])
+        assert result.bytes_recv[1] == 333
+
+    def test_any_source_wildcard(self):
+        r0 = RankTrace(0)
+        r0.send(2, 100, tag=9)
+        r1 = RankTrace(1)
+        r1.send(2, 100, tag=9)
+        r2 = RankTrace(2)
+        r2.recv(ANY_SOURCE, 100, tag=9)
+        r2.recv(ANY_SOURCE, 100, tag=9)
+        result, _, _ = run_job([r0, r1, r2])
+        assert result.bytes_recv[2] == 200
+
+    def test_any_tag_wildcard(self):
+        r0 = RankTrace(0)
+        r0.send(1, 100, tag=42)
+        r1 = RankTrace(1)
+        r1.recv(0, 100, tag=ANY_TAG)
+        run_job([r0, r1])
+
+    def test_posted_recvs_match_fifo(self):
+        """Two wildcard irecvs match two same-envelope messages in post
+        order (MPI ordering semantics)."""
+        r0 = RankTrace(0)
+        r0.send(1, 100, tag=1)
+        r0.send(1, 100, tag=1)
+        r1 = RankTrace(1)
+        r1.irecv(0, 100, tag=1, req=0)
+        r1.irecv(0, 100, tag=1, req=1)
+        r1.waitall()
+        result, fabric, _ = run_job([r0, r1])
+        assert fabric.messages_delivered == 2
+
+
+class TestBarriers:
+    def test_barrier_synchronizes(self):
+        r0 = RankTrace(0)
+        r0.compute(5_000_000.0)
+        r0.barrier()
+        r1 = RankTrace(1)
+        r1.barrier()
+        result, _, _ = run_job([r0, r1], compute_scale=1.0)
+        # Rank 1 cannot pass the barrier before rank 0 arrives.
+        assert result.finish_time_ns[1] >= 5_000_000.0
+
+    def test_barrier_wait_excluded_from_comm_time(self):
+        r0 = RankTrace(0)
+        r0.compute(5_000_000.0)
+        r0.barrier()
+        r1 = RankTrace(1)
+        r1.barrier()
+        result, _, _ = run_job([r0, r1], compute_scale=1.0)
+        # Rank 1 exchanged no messages: its comm time is (almost) zero
+        # even though it idled 5 ms at the barrier.
+        assert result.comm_time_ns[1] < 100_000.0
+
+    def test_sequential_barriers(self):
+        ranks = []
+        for i in range(4):
+            t = RankTrace(i)
+            t.barrier()
+            t.barrier()
+            t.barrier()
+            ranks.append(t)
+        result, _, _ = run_job(ranks)
+        assert (result.finish_time_ns > 0).all()
+
+
+class TestComputeScale:
+    def test_compute_ignored_by_default(self):
+        r0 = RankTrace(0)
+        r0.compute(1e9)
+        r0.send(1, 10)
+        r1 = RankTrace(1)
+        r1.recv(0, 10)
+        result, _, sim = run_job([r0, r1])  # compute_scale=0
+        assert sim.now < 1e6
+
+    def test_compute_scale_applies(self):
+        r0 = RankTrace(0)
+        r0.compute(1000.0)
+        r1 = RankTrace(1)
+        result, _, _ = run_job([r0, r1], compute_scale=2.0)
+        assert result.finish_time_ns[0] == pytest.approx(2000.0)
+        assert result.comm_time_ns[0] == pytest.approx(0.0)
+
+
+class TestLocalDelivery:
+    def test_same_node_messages_bypass_fabric(self):
+        r0 = RankTrace(0)
+        r0.send(1, 4096)
+        r1 = RankTrace(1)
+        r1.recv(0, 4096)
+        # Both ranks on node 0.
+        result, fabric, _ = run_job([r0, r1], nodes=[0, 0])
+        assert fabric.bytes_injected == 0
+        assert result.bytes_recv[1] == 4096
+
+
+class TestStallDetection:
+    def test_unmatched_recv_raises(self):
+        r0 = RankTrace(0)
+        r0.recv(1, 100)  # nothing ever sent
+        r1 = RankTrace(1)
+        with pytest.raises(ReplayStalled, match="rank 0"):
+            run_job([r0, r1])
+
+    def test_partial_barrier_raises(self):
+        r0 = RankTrace(0)
+        r0.barrier()
+        r1 = RankTrace(1)  # never reaches a barrier... it just finishes
+        r1_ops = r1
+        with pytest.raises(ReplayStalled):
+            run_job([r0, r1_ops])
+
+
+class TestEngineSetup:
+    def test_add_job_after_start_rejected(self):
+        sim, fabric, engine = make_engine()
+        t = RankTrace(0)
+        engine.add_job(0, JobTrace("a", [t]), [0])
+        engine.start()
+        with pytest.raises(RuntimeError):
+            engine.add_job(1, JobTrace("b", [RankTrace(0)]), [1])
+
+    def test_duplicate_job_id_rejected(self):
+        sim, fabric, engine = make_engine()
+        engine.add_job(0, JobTrace("a", [RankTrace(0)]), [0])
+        with pytest.raises(ValueError):
+            engine.add_job(0, JobTrace("b", [RankTrace(0)]), [1])
+
+    def test_placement_size_mismatch_rejected(self):
+        sim, fabric, engine = make_engine()
+        with pytest.raises(ValueError, match="placement"):
+            engine.add_job(0, JobTrace("a", [RankTrace(0)]), [0, 1])
+
+    def test_unknown_target_job(self):
+        sim, fabric, engine = make_engine()
+        engine.add_job(0, JobTrace("a", [RankTrace(0)]), [0])
+        with pytest.raises(ValueError):
+            engine.run(target_job=5)
+
+    def test_record_sends(self):
+        r0 = RankTrace(0)
+        r0.send(1, 123)
+        r1 = RankTrace(1)
+        r1.recv(0, 123)
+        result, _, _ = run_job([r0, r1], record_sends=True)
+        assert result.send_events == [(0.0, 0, 123)]
+
+
+class TestMultiJob:
+    def test_two_jobs_share_fabric(self):
+        sim, fabric, engine = make_engine()
+        a0 = RankTrace(0)
+        a0.send(1, 1000)
+        a1 = RankTrace(1)
+        a1.recv(0, 1000)
+        b0 = RankTrace(0)
+        b0.send(1, 2000)
+        b1 = RankTrace(1)
+        b1.recv(0, 2000)
+        engine.add_job(0, JobTrace("A", [a0, a1]), [0, 2])
+        engine.add_job(1, JobTrace("B", [b0, b1]), [4, 6])
+        engine.run()
+        ra = engine.job_result(0)
+        rb = engine.job_result(1)
+        assert ra.bytes_recv[1] == 1000
+        assert rb.bytes_recv[1] == 2000
+        assert fabric.bytes_injected == fabric.bytes_delivered
+
+    def test_jobs_do_not_cross_match(self):
+        """Same (src_rank, tag) envelopes in different jobs stay separate."""
+        sim, fabric, engine = make_engine()
+        a0 = RankTrace(0)
+        a0.send(1, 111, tag=7)
+        a1 = RankTrace(1)
+        a1.recv(0, 111, tag=7)
+        b0 = RankTrace(0)
+        b0.send(1, 222, tag=7)
+        b1 = RankTrace(1)
+        b1.recv(0, 222, tag=7)
+        engine.add_job(0, JobTrace("A", [a0, a1]), [0, 2])
+        engine.add_job(1, JobTrace("B", [b0, b1]), [4, 6])
+        engine.run()
+        assert engine.job_result(0).bytes_recv[1] == 111
+        assert engine.job_result(1).bytes_recv[1] == 222

@@ -1,0 +1,87 @@
+"""Report rendering tests (Table I and figure-style tables)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.report import (
+    config_label,
+    format_box_table,
+    format_cdf_table,
+    format_series_table,
+    key_findings,
+    nomenclature_table,
+)
+from repro.core.study import TradeoffStudy
+from repro.metrics.analysis import BoxStats
+
+
+class TestNomenclature:
+    def test_table1_contains_all_ten_configs(self):
+        text = nomenclature_table()
+        for p in ("cont", "cab", "chas", "rotr", "rand"):
+            for r in ("min", "adp"):
+                assert f"{p}-{r}" in text
+
+    def test_long_names_present(self):
+        text = nomenclature_table()
+        for long in (
+            "Contiguous",
+            "Random-cabinet",
+            "Random-chassis",
+            "Random-router",
+            "Random-node",
+        ):
+            assert long in text
+
+    def test_config_label(self):
+        assert config_label("cont", "min") == "cont-min"
+
+
+class TestFormatters:
+    def test_box_table(self):
+        boxes = {"cont-min": BoxStats(1, 2, 3, 4, 5)}
+        text = format_box_table(boxes, "title", unit="ms")
+        assert "title" in text
+        assert "cont-min" in text
+        assert "3.0000" in text
+
+    def test_cdf_table(self):
+        curves = {
+            "a": (np.array([1.0, 2.0, 3.0]), np.array([33.3, 66.7, 100.0])),
+            "b": (np.array([]), np.array([])),
+        }
+        text = format_cdf_table(curves, "cdf", unit="MB")
+        assert "cdf" in text
+        assert "(no channels)" in text
+        assert "p50" in text
+
+    def test_series_table(self):
+        text = format_series_table(
+            [0.5, 1.0],
+            {"cont-min": [101.0, 102.0], "rand-adp": [100.0, 100.0]},
+            "fig7",
+        )
+        assert "fig7" in text
+        assert "cont-min" in text
+        assert "0.5" in text
+
+
+class TestKeyFindings:
+    @pytest.fixture(scope="class")
+    def result(self):
+        cfg = repro.tiny()
+        traces = {"CR": repro.crystal_router_trace(num_ranks=10, seed=1).scaled(0.1)}
+        return TradeoffStudy(
+            cfg, traces, placements=("cont", "rand"), routings=("min", "adp"), seed=1
+        ).run()
+
+    def test_findings_structure(self, result):
+        findings = key_findings(result)
+        assert "CR" in findings
+        f = findings["CR"]
+        assert f["best"] in result.labels()
+        # The two comparisons have opposite signs.
+        assert (f["rand_vs_cont_pct"] > 0) != (f["cont_vs_rand_pct"] > 0) or (
+            f["rand_vs_cont_pct"] == f["cont_vs_rand_pct"] == 0
+        )

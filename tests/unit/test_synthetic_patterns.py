@@ -1,0 +1,100 @@
+"""Synthetic pattern trace generators."""
+
+import pytest
+
+import repro
+from repro.apps.synthetic_patterns import (
+    alltoall_trace,
+    stencil3d_trace,
+    transpose_trace,
+    uniform_traffic_trace,
+)
+
+
+class TestUniformTraffic:
+    def test_balanced(self):
+        uniform_traffic_trace(num_ranks=16, seed=1).validate()
+
+    def test_spreads_partners(self):
+        job = uniform_traffic_trace(num_ranks=16, rounds=10, seed=1)
+        mat = job.communication_matrix()
+        partners = (mat > 0).sum(axis=1)
+        assert partners.mean() > 4  # matchings accumulate distinct peers
+
+    def test_replayable(self):
+        job = uniform_traffic_trace(num_ranks=12, rounds=3, seed=1).scaled(0.05)
+        r = repro.run_single(repro.tiny(), job, "rand", "min", seed=1)
+        assert r.job.bytes_recv.sum() == job.total_bytes()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_traffic_trace(num_ranks=1)
+        with pytest.raises(ValueError):
+            uniform_traffic_trace(num_ranks=4, rounds=0)
+
+
+class TestStencil3d:
+    def test_balanced(self):
+        stencil3d_trace(num_ranks=27, seed=1).validate()
+
+    def test_six_neighbors_periodic(self):
+        job = stencil3d_trace(num_ranks=27, periodic=True, seed=1)
+        partners = (job.communication_matrix() > 0).sum(axis=1)
+        assert (partners == 6).all()
+
+    def test_boundary_nonperiodic(self):
+        job = stencil3d_trace(num_ranks=27, periodic=False, seed=1)
+        partners = (job.communication_matrix() > 0).sum(axis=1)
+        assert partners.min() == 3
+        assert partners.max() == 6
+
+    def test_locality_prefers_contiguous(self):
+        """Pure stencil is the canonical localized workload: contiguous
+        placement reduces hops substantially."""
+        cfg = repro.tiny()
+        job = stencil3d_trace(num_ranks=24, steps=2, seed=1).scaled(0.02)
+        cont = repro.run_single(cfg, job, "cont", "min", seed=1)
+        rand = repro.run_single(cfg, job, "rand", "min", seed=1)
+        assert cont.metrics.mean_hops < rand.metrics.mean_hops
+
+
+class TestTranspose:
+    def test_balanced(self):
+        transpose_trace(num_ranks=16, seed=1).validate()
+
+    def test_single_partner(self):
+        job = transpose_trace(num_ranks=16, seed=1)
+        partners = (job.communication_matrix() > 0).sum(axis=1)
+        assert (partners == 1).all()
+
+    def test_requires_even(self):
+        with pytest.raises(ValueError):
+            transpose_trace(num_ranks=7)
+
+    def test_adversarial_for_contiguous_minimal(self):
+        """All transpose traffic crosses the machine: contiguous
+        placement funnels it through few inter-group links, so balanced
+        placement or adaptive routing must not be worse than cont-min."""
+        cfg = repro.tiny()
+        job = transpose_trace(num_ranks=16, rounds=2, seed=1).scaled(0.1)
+        cont_min = repro.run_single(cfg, job, "cont", "min", seed=1)
+        rand_adp = repro.run_single(cfg, job, "rand", "adp", seed=1)
+        assert (
+            rand_adp.metrics.max_comm_time_ns
+            <= cont_min.metrics.max_comm_time_ns * 1.3
+        )
+
+
+class TestAlltoall:
+    def test_balanced(self):
+        alltoall_trace(num_ranks=8, seed=1).validate()
+
+    def test_dense_matrix(self):
+        job = alltoall_trace(num_ranks=8, seed=1)
+        mat = job.communication_matrix()
+        assert ((mat + mat.T) > 0).sum() == 8 * 7
+
+    def test_replayable(self):
+        job = alltoall_trace(num_ranks=10, message_bytes=2048, seed=1)
+        r = repro.run_single(repro.tiny(), job, "chas", "adp", seed=1)
+        assert r.job.bytes_recv.sum() == job.total_bytes()
