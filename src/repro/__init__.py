@@ -59,6 +59,15 @@ from repro.core import (
     sensitivity_sweep,
     variability_study,
 )
+from repro.exec import (
+    ExperimentPlan,
+    ResultCache,
+    RunSpec,
+    TextReporter,
+    execute_plan,
+    plan_grid,
+    plan_sensitivity,
+)
 
 __version__ = "1.0.0"
 
@@ -104,5 +113,12 @@ __all__ = [
     "Recommendation",
     "recommend",
     "variability_study",
+    "ExperimentPlan",
+    "ResultCache",
+    "RunSpec",
+    "TextReporter",
+    "execute_plan",
+    "plan_grid",
+    "plan_sensitivity",
     "__version__",
 ]

@@ -28,6 +28,7 @@ from repro.core.report import (
 from repro.core.sensitivity import PAPER_SCALES, sensitivity_sweep
 from repro.core.study import TradeoffStudy
 from repro.core.runner import run_single
+from repro.exec.progress import TextReporter
 from repro.mpi.dumpi import load_trace
 
 __all__ = ["main"]
@@ -58,6 +59,33 @@ def _add_common(p: argparse.ArgumentParser) -> None:
         help="scale applied to the paper's full-size message loads "
         "(keep small on small presets)",
     )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for grid/sweep cells (1 = serial, the "
+        "default; results are identical at any worker count)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="disk result cache; re-runs only simulate changed cells",
+    )
+    p.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-cell progress/ETA telemetry to stderr",
+    )
+
+
+def _exec_opts(args) -> dict:
+    """The repro.exec keyword arguments shared by all study commands."""
+    return {
+        "max_workers": args.workers,
+        "cache_dir": args.cache_dir,
+        "progress": TextReporter() if args.progress else None,
+    }
 
 
 def _build_trace(args):
@@ -132,7 +160,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "study":
         trace = _build_trace(args)
         result = TradeoffStudy(config, {args.app: trace}, seed=args.seed).run(
-            verbose=True
+            verbose=True, **_exec_opts(args)
         )
         print()
         print(
@@ -156,7 +184,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "sensitivity":
         trace = _build_trace(args)
         scales = PAPER_SCALES[args.app]
-        sens = sensitivity_sweep(config, trace, scales, seed=args.seed)
+        sens = sensitivity_sweep(
+            config, trace, scales, seed=args.seed, **_exec_opts(args)
+        )
         rel = sens.relative()
         print(
             format_series_table(
@@ -175,7 +205,9 @@ def main(argv: list[str] | None = None) -> int:
             interval_ns=args.bg_interval_us * 1000.0,
             fanout=args.bg_fanout,
         )
-        result = interference_study(config, trace, spec, seed=args.seed)
+        result = interference_study(
+            config, trace, spec, seed=args.seed, **_exec_opts(args)
+        )
         print(
             format_box_table(
                 result.comm_time_boxes(args.app),

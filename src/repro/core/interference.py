@@ -83,8 +83,15 @@ def interference_study(
     routings: tuple[str, ...] = ROUTING_NAMES,
     seed: int = 0,
     compute_scale: float = 0.0,
+    max_workers: int = 1,
+    cache_dir=None,
+    progress=None,
 ) -> StudyResult:
-    """Run the placement x routing grid with background traffic."""
+    """Run the placement x routing grid with background traffic.
+
+    ``max_workers``/``cache_dir``/``progress`` are forwarded to
+    :meth:`TradeoffStudy.run` (and on to :mod:`repro.exec`).
+    """
     study = TradeoffStudy(
         config,
         {trace.name: trace},
@@ -94,7 +101,9 @@ def interference_study(
         compute_scale=compute_scale,
         background=background,
     )
-    return study.run()
+    return study.run(
+        max_workers=max_workers, cache_dir=cache_dir, progress=progress
+    )
 
 
 def background_load_table(

@@ -14,7 +14,8 @@ from typing import Sequence
 import numpy as np
 
 from repro.config import SimulationConfig
-from repro.core.runner import run_single
+from repro.exec.plan import plan_sensitivity
+from repro.exec.pool import execute_plan
 from repro.mpi.trace import JobTrace
 
 __all__ = ["sensitivity_sweep", "SensitivityResult", "PAPER_SCALES"]
@@ -78,26 +79,36 @@ def sensitivity_sweep(
     baseline: tuple[str, str] = ("rand", "adp"),
     seed: int = 0,
     compute_scale: float = 0.0,
+    max_workers: int = 1,
+    cache_dir=None,
+    progress=None,
 ) -> SensitivityResult:
-    """Run the message-size sweep for one application."""
+    """Run the message-size sweep for one application.
+
+    ``max_workers``/``cache_dir``/``progress`` are forwarded to
+    :func:`repro.exec.pool.execute_plan`; the serial default is
+    unchanged from the historical loop.
+    """
     if not scales:
         raise ValueError("need at least one scale")
     if tuple(baseline) not in {tuple(c) for c in configs}:
         raise ValueError("baseline configuration must be in the swept set")
 
+    plan = plan_sensitivity(
+        config, trace, scales, configs, seed=seed, compute_scale=compute_scale
+    )
+    report = execute_plan(
+        plan,
+        max_workers=max_workers,
+        cache=cache_dir,
+        progress=progress,
+        strict=True,
+    )
+    # Plan order is scale-major then config, so per-label appends land
+    # in scale order exactly as the serial loop produced them.
     series: dict[str, list[float]] = {f"{p}-{r}": [] for p, r in configs}
-    for scale in scales:
-        scaled = trace.scaled(scale)
-        for placement, routing in configs:
-            result = run_single(
-                config,
-                scaled,
-                placement,
-                routing,
-                seed=seed,
-                compute_scale=compute_scale,
-            )
-            series[f"{placement}-{routing}"].append(result.metrics.max_comm_time_ns)
+    for spec, outcome in zip(plan.specs, report.outcomes):
+        series[spec.label].append(outcome.result.metrics.max_comm_time_ns)
 
     return SensitivityResult(
         trace.name,

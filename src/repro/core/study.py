@@ -5,7 +5,9 @@ from __future__ import annotations
 from typing import Iterable, Mapping
 
 from repro.config import SimulationConfig
-from repro.core.runner import RunResult, run_single
+from repro.core.runner import RunResult
+from repro.exec.plan import plan_grid
+from repro.exec.pool import ExecutionReport, execute_plan
 from repro.metrics.analysis import BoxStats, box_stats, cdf, percent_improvement
 from repro.mpi.trace import JobTrace
 from repro.placement.policies import PLACEMENT_NAMES
@@ -48,32 +50,68 @@ class TradeoffStudy:
         self.background = background
         self.record_sends = record_sends
 
-    def run(self, verbose: bool = False) -> "StudyResult":
-        """Execute the full grid and collect results."""
+    def plan(self):
+        """The study as a flat :class:`~repro.exec.plan.ExperimentPlan`."""
+        return plan_grid(
+            self.config,
+            self.traces,
+            self.placements,
+            self.routings,
+            seed=self.seed,
+            compute_scale=self.compute_scale,
+            background=self.background,
+            record_sends=self.record_sends,
+        )
+
+    def run(
+        self,
+        verbose: bool = False,
+        max_workers: int = 1,
+        cache_dir=None,
+        progress=None,
+        timeout_s: float | None = None,
+        retries: int = 1,
+    ) -> "StudyResult":
+        """Execute the full grid and collect results.
+
+        The grid is planned through :mod:`repro.exec`: ``max_workers=1``
+        (default) runs serially in-process exactly as before, larger
+        values shard cells across a process pool; either way results
+        come back in the same deterministic grid order. ``cache_dir``
+        enables the disk result cache so a re-run only simulates
+        changed cells; ``progress`` receives
+        :class:`~repro.exec.progress.ProgressEvent` telemetry.
+        """
+        plan = self.plan()
+        report = execute_plan(
+            plan,
+            max_workers=max_workers,
+            cache=cache_dir,
+            progress=progress,
+            timeout_s=timeout_s,
+            retries=retries,
+            ipc_send_events=self.record_sends,
+            strict=True,
+        )
         runs: dict[tuple[str, str, str], RunResult] = {}
-        for app, trace in self.traces.items():
-            for placement in self.placements:
-                for routing in self.routings:
-                    result = run_single(
-                        self.config,
-                        trace,
-                        placement,
-                        routing,
-                        seed=self.seed,
-                        compute_scale=self.compute_scale,
-                        background=self.background,
-                        record_sends=self.record_sends,
-                    )
-                    runs[(app, placement, routing)] = result
-                    if verbose:
-                        m = result.metrics
-                        print(
-                            f"{app:>4} {result.label:<9} "
-                            f"median={m.median_comm_time_ns / 1e6:8.3f} ms "
-                            f"max={m.max_comm_time_ns / 1e6:8.3f} ms "
-                            f"hops={m.mean_hops:4.2f}"
-                        )
-        return StudyResult(runs, tuple(self.traces), self.placements, self.routings)
+        for spec, outcome in zip(plan.specs, report.outcomes):
+            result = outcome.result
+            runs[(spec.app, spec.placement, spec.routing)] = result
+            if verbose:
+                m = result.metrics
+                print(
+                    f"{spec.app:>4} {result.label:<9} "
+                    f"median={m.median_comm_time_ns / 1e6:8.3f} ms "
+                    f"max={m.max_comm_time_ns / 1e6:8.3f} ms "
+                    f"hops={m.mean_hops:4.2f}"
+                )
+        return StudyResult(
+            runs,
+            tuple(self.traces),
+            self.placements,
+            self.routings,
+            report=report,
+        )
 
 
 class StudyResult:
@@ -85,11 +123,15 @@ class StudyResult:
         apps: tuple[str, ...],
         placements: tuple[str, ...],
         routings: tuple[str, ...],
+        report: ExecutionReport | None = None,
     ) -> None:
         self.runs = runs
         self.apps = apps
         self.placements = placements
         self.routings = routings
+        #: Execution telemetry (cached/simulated counts, wall time);
+        #: ``None`` for results assembled outside ``TradeoffStudy.run``.
+        self.report = report
 
     def labels(self) -> list[str]:
         """Configuration labels in the paper's order (min block first)."""

@@ -1,0 +1,65 @@
+"""Parallel experiment executor: planning, caching, pooling, telemetry.
+
+The study drivers in :mod:`repro.core` all reduce to "run N independent,
+fully-seeded simulation cells and reassemble". This package makes that
+workload first-class:
+
+* :mod:`repro.exec.plan` — enumerate a grid/sweep into content-addressed
+  :class:`RunSpec` cells;
+* :mod:`repro.exec.pool` — execute a plan serially or across a process
+  pool, with per-cell timeout and bounded crash retry;
+* :mod:`repro.exec.cache` — a disk result cache keyed by cell content
+  hash, so re-running a study only simulates changed cells;
+* :mod:`repro.exec.progress` — structured progress events with a
+  plain-text reporter.
+
+Typical use goes through the drivers (``TradeoffStudy(...).run(
+max_workers=4, cache_dir=".repro-cache")``), but plans compose directly::
+
+    from repro.exec import plan_grid, execute_plan, TextReporter
+
+    plan = plan_grid(config, {"CR": trace}, ("cont", "rand"), ("min", "adp"))
+    report = execute_plan(plan, max_workers=4, cache=".repro-cache",
+                          progress=TextReporter())
+    results = report.results()          # plan order, serial-identical
+"""
+
+from repro.exec.cache import ResultCache
+from repro.exec.plan import (
+    CODE_SALT,
+    ExperimentPlan,
+    RunSpec,
+    config_digest,
+    plan_grid,
+    plan_sensitivity,
+    trace_fingerprint,
+)
+from repro.exec.pool import (
+    CellOutcome,
+    CellTimeout,
+    ExecutionError,
+    ExecutionReport,
+    execute_plan,
+    simulate_spec,
+)
+from repro.exec.progress import ProgressEvent, ProgressTracker, TextReporter
+
+__all__ = [
+    "CODE_SALT",
+    "CellOutcome",
+    "CellTimeout",
+    "ExecutionError",
+    "ExecutionReport",
+    "ExperimentPlan",
+    "ProgressEvent",
+    "ProgressTracker",
+    "ResultCache",
+    "RunSpec",
+    "TextReporter",
+    "config_digest",
+    "execute_plan",
+    "plan_grid",
+    "plan_sensitivity",
+    "simulate_spec",
+    "trace_fingerprint",
+]

@@ -1,0 +1,98 @@
+"""Disk result cache for experiment cells.
+
+Results are pickled under their :attr:`RunSpec.key <repro.exec.plan.RunSpec.key>`
+content hash, so the cache invalidates itself: any change to the
+machine config, trace content, placement, routing, seed, replay
+options, or the code-version salt produces a different key and the old
+entry is simply never looked up again. Re-running a study against a
+warm cache therefore only simulates changed cells.
+
+Writes are atomic (temp file + ``os.replace``) so a crashed or killed
+worker can never leave a truncated entry behind; unreadable entries are
+treated as misses and deleted.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Content-addressed pickle store: one file per experiment cell.
+
+    Entries live at ``<root>/<key[:2]>/<key>.pkl`` (fanned out so huge
+    sweeps do not pile thousands of files into one directory).
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except FileExistsError:
+            raise NotADirectoryError(
+                f"cache root {self.root} exists and is not a directory"
+            ) from None
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def get(self, key: str):
+        """Return the cached result for ``key``, or ``None`` on a miss.
+
+        A corrupt or unreadable entry counts as a miss and is removed.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as fh:
+                result = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            self.misses += 1
+            path.unlink(missing_ok=True)
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result) -> None:
+        """Store ``result`` under ``key`` atomically."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+        self.stores += 1
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("*/*.pkl"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}

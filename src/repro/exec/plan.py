@@ -1,0 +1,230 @@
+"""Experiment planning: flatten study grids into content-addressed specs.
+
+A study — the Section IV-A grid, a IV-B message-size sweep, or a IV-C
+interference rerun — is just a set of independent simulation *cells*.
+This module enumerates any of them into a flat, deterministic list of
+:class:`RunSpec` records. A spec captures everything that determines a
+cell's outcome (topology/network parameters, trace content, placement,
+routing, seed, compute scale, background traffic, replay options) as a
+stable content hash, so specs are
+
+* **hashable / comparable** — two cells with the same inputs share a key;
+* **addressable** — :mod:`repro.exec.cache` files results under the key;
+* **portable** — plain frozen dataclasses that pickle cheaply for IPC.
+
+Planned order is the executor's result order, and it matches the
+original nested for-loops of the serial drivers, so parallel execution
+reassembles into exactly the structures the serial path produced.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.config import SimulationConfig
+from repro.mpi.trace import JobTrace
+
+__all__ = [
+    "CODE_SALT",
+    "RunSpec",
+    "ExperimentPlan",
+    "config_digest",
+    "trace_fingerprint",
+    "plan_grid",
+    "plan_sensitivity",
+]
+
+#: Cache-namespace salt folded into every spec key. Bump the version
+#: suffix whenever a change alters simulation *results* (routing logic,
+#: replay semantics, metric extraction, ...) so stale cached cells are
+#: never served for new code.
+CODE_SALT = "repro-exec/v1"
+
+#: Default replay event budget, mirrored from ``run_single``.
+DEFAULT_MAX_EVENTS = 50_000_000
+
+
+def config_digest(config: SimulationConfig) -> str:
+    """Stable hex digest of a :class:`SimulationConfig`.
+
+    Dataclass fields are serialised to sorted-key JSON; float repr is
+    exact in Python 3, so equal configs always digest identically.
+    """
+    payload = json.dumps(dataclasses.asdict(config), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def trace_fingerprint(trace: JobTrace) -> str:
+    """Stable hex digest of a trace's simulated content.
+
+    Covers the job name, rank count, and the full per-rank operation
+    lists (ops are NamedTuples, so ``repr`` is canonical). ``meta`` is
+    deliberately excluded: it annotates but never alters replay.
+    """
+    h = hashlib.sha256()
+    h.update(trace.name.encode())
+    h.update(b"|%d|" % trace.num_ranks)
+    for rt in trace.ranks:
+        h.update(repr(rt.ops).encode())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One content-addressed simulation cell.
+
+    ``app`` is the plan-local trace key (the study's application name,
+    suffixed with the scale for sweeps); the trace itself travels beside
+    the spec in the :class:`ExperimentPlan` so specs stay tiny.
+    ``background`` is a frozen dataclass (``BackgroundSpec``) or None.
+    ``tags`` is free-form labelling (e.g. ``("scale=0.5",)``) that is
+    part of the identity hash.
+    """
+
+    app: str
+    placement: str
+    routing: str
+    seed: int
+    config_digest: str
+    trace_digest: str
+    compute_scale: float = 0.0
+    background: Any = None
+    record_sends: bool = False
+    max_events: int | None = DEFAULT_MAX_EVENTS
+    tags: tuple[str, ...] = ()
+
+    @property
+    def label(self) -> str:
+        """Table-I style configuration label, e.g. ``cont-min``."""
+        return f"{self.placement}-{self.routing}"
+
+    @property
+    def key(self) -> str:
+        """Content hash addressing this cell (includes :data:`CODE_SALT`)."""
+        background = (
+            dataclasses.asdict(self.background)
+            if dataclasses.is_dataclass(self.background)
+            else self.background
+        )
+        payload = json.dumps(
+            {
+                "salt": CODE_SALT,
+                "app": self.app,
+                "placement": self.placement,
+                "routing": self.routing,
+                "seed": self.seed,
+                "config": self.config_digest,
+                "trace": self.trace_digest,
+                "compute_scale": self.compute_scale,
+                "background": background,
+                "record_sends": self.record_sends,
+                "max_events": self.max_events,
+                "tags": list(self.tags),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class ExperimentPlan:
+    """A flat, ordered batch of cells plus the data they need.
+
+    ``traces`` maps each spec's ``app`` key to its :class:`JobTrace`;
+    ``config`` is shared by every cell (one plan = one machine).
+    """
+
+    config: SimulationConfig
+    specs: tuple[RunSpec, ...]
+    traces: Mapping[str, JobTrace] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def trace_for(self, spec: RunSpec) -> JobTrace:
+        return self.traces[spec.app]
+
+    def keys(self) -> list[str]:
+        return [spec.key for spec in self.specs]
+
+
+def plan_grid(
+    config: SimulationConfig,
+    traces: Mapping[str, JobTrace],
+    placements: Sequence[str],
+    routings: Sequence[str],
+    seed: int = 0,
+    compute_scale: float = 0.0,
+    background: Any = None,
+    record_sends: bool = False,
+    max_events: int | None = DEFAULT_MAX_EVENTS,
+) -> ExperimentPlan:
+    """Enumerate the placement x routing grid (paper Sections IV-A/IV-C).
+
+    Cell order is app-major then placement then routing — exactly the
+    serial ``TradeoffStudy.run`` loop nest.
+    """
+    cfg_digest = config_digest(config)
+    fingerprints = {app: trace_fingerprint(t) for app, t in traces.items()}
+    specs = tuple(
+        RunSpec(
+            app=app,
+            placement=placement,
+            routing=routing,
+            seed=seed,
+            config_digest=cfg_digest,
+            trace_digest=fingerprints[app],
+            compute_scale=compute_scale,
+            background=background,
+            record_sends=record_sends,
+            max_events=max_events,
+        )
+        for app in traces
+        for placement in placements
+        for routing in routings
+    )
+    return ExperimentPlan(config=config, specs=specs, traces=dict(traces))
+
+
+def plan_sensitivity(
+    config: SimulationConfig,
+    trace: JobTrace,
+    scales: Sequence[float],
+    configs: Sequence[tuple[str, str]],
+    seed: int = 0,
+    compute_scale: float = 0.0,
+    max_events: int | None = DEFAULT_MAX_EVENTS,
+) -> ExperimentPlan:
+    """Enumerate the message-size sweep (paper Section IV-B).
+
+    Each scale gets its own pre-scaled trace under the key
+    ``"<name>@x<scale>"``; cell order is scale-major then config,
+    matching the serial ``sensitivity_sweep`` loop nest.
+    """
+    cfg_digest = config_digest(config)
+    specs: list[RunSpec] = []
+    traces: dict[str, JobTrace] = {}
+    for scale in scales:
+        key = f"{trace.name}@x{scale:g}"
+        scaled = trace.scaled(scale)
+        traces[key] = scaled
+        digest = trace_fingerprint(scaled)
+        for placement, routing in configs:
+            specs.append(
+                RunSpec(
+                    app=key,
+                    placement=placement,
+                    routing=routing,
+                    seed=seed,
+                    config_digest=cfg_digest,
+                    trace_digest=digest,
+                    compute_scale=compute_scale,
+                    max_events=max_events,
+                    tags=(f"scale={scale:g}",),
+                )
+            )
+    return ExperimentPlan(config=config, specs=tuple(specs), traces=traces)

@@ -1,0 +1,186 @@
+"""Structured progress/telemetry events for experiment execution.
+
+The executor narrates a run as a stream of :class:`ProgressEvent`
+records through a single callback, so callers can drive terminal
+output, log aggregation, or a dashboard without the executor knowing
+which. :class:`ProgressTracker` owns the counters and the ETA estimate;
+:class:`TextReporter` is the bundled plain-text sink.
+
+Accounting invariant (tested): once the ``finished`` event fires,
+``done + failed + cached == planned``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, TextIO
+
+__all__ = ["ProgressEvent", "ProgressTracker", "TextReporter"]
+
+#: Event kinds, in rough lifecycle order.
+KINDS = (
+    "planned",  # once, before any cell runs; ``total`` is the grid size
+    "cell-start",  # a cell began simulating
+    "cell-done",  # a cell finished simulating (``wall_s`` is its cost)
+    "cell-cached",  # a cell was served from the result cache
+    "cell-retry",  # a cell attempt failed and will be retried
+    "cell-failed",  # a cell exhausted its retries
+    "finished",  # once, after the last cell settles
+)
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One telemetry record; counter fields are post-event snapshots."""
+
+    kind: str
+    total: int
+    done: int = 0
+    cached: int = 0
+    failed: int = 0
+    app: str = ""
+    label: str = ""
+    key: str = ""
+    attempt: int = 1
+    wall_s: float | None = None
+    eta_s: float | None = None
+    error: str | None = None
+
+    @property
+    def settled(self) -> int:
+        """Cells that have reached a terminal state."""
+        return self.done + self.cached + self.failed
+
+
+class ProgressTracker:
+    """Counts cell outcomes and emits events to an optional callback.
+
+    ETA is the mean simulated-cell wall time so far times the number of
+    unsettled cells, divided by the worker count — deliberately simple,
+    it only needs to be honest about the order of magnitude.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        callback: Callable[[ProgressEvent], None] | None = None,
+        workers: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.total = total
+        self.callback = callback
+        self.workers = max(1, workers)
+        self.clock = clock
+        self.done = 0
+        self.cached = 0
+        self.failed = 0
+        self.retries = 0
+        self.wall_s_total = 0.0
+        self.started_at = clock()
+
+    # -- derived ------------------------------------------------------
+    @property
+    def settled(self) -> int:
+        return self.done + self.cached + self.failed
+
+    def eta_s(self) -> float | None:
+        simulated = self.done + self.failed
+        if simulated == 0:
+            return None
+        mean = self.wall_s_total / simulated
+        return mean * (self.total - self.settled) / self.workers
+
+    # -- event emission -----------------------------------------------
+    def _emit(self, kind: str, **kw) -> None:
+        if self.callback is None:
+            return
+        self.callback(
+            ProgressEvent(
+                kind=kind,
+                total=self.total,
+                done=self.done,
+                cached=self.cached,
+                failed=self.failed,
+                eta_s=self.eta_s(),
+                **kw,
+            )
+        )
+
+    def planned(self) -> None:
+        self._emit("planned")
+
+    def cell_start(self, spec, attempt: int = 1) -> None:
+        self._emit(
+            "cell-start", app=spec.app, label=spec.label, key=spec.key,
+            attempt=attempt,
+        )
+
+    def cell_done(self, spec, wall_s: float, attempt: int = 1) -> None:
+        self.done += 1
+        self.wall_s_total += wall_s
+        self._emit(
+            "cell-done", app=spec.app, label=spec.label, key=spec.key,
+            wall_s=wall_s, attempt=attempt,
+        )
+
+    def cell_cached(self, spec) -> None:
+        self.cached += 1
+        self._emit("cell-cached", app=spec.app, label=spec.label, key=spec.key)
+
+    def cell_retry(self, spec, error: str, attempt: int) -> None:
+        self.retries += 1
+        self._emit(
+            "cell-retry", app=spec.app, label=spec.label, key=spec.key,
+            error=error, attempt=attempt,
+        )
+
+    def cell_failed(
+        self, spec, error: str, wall_s: float = 0.0, attempt: int = 1
+    ) -> None:
+        self.failed += 1
+        self.wall_s_total += wall_s
+        self._emit(
+            "cell-failed", app=spec.app, label=spec.label, key=spec.key,
+            error=error, wall_s=wall_s, attempt=attempt,
+        )
+
+    def finished(self) -> None:
+        self._emit("finished", wall_s=self.clock() - self.started_at)
+
+
+@dataclass
+class TextReporter:
+    """Plain-text progress sink: one line per terminal cell event."""
+
+    stream: TextIO = field(default_factory=lambda: sys.stderr)
+
+    def __call__(self, event: ProgressEvent) -> None:
+        if event.kind == "planned":
+            print(f"planned {event.total} cells", file=self.stream)
+            return
+        if event.kind == "finished":
+            print(
+                f"finished: {event.done} simulated, {event.cached} cached, "
+                f"{event.failed} failed in {event.wall_s:.1f}s",
+                file=self.stream,
+            )
+            return
+        if event.kind == "cell-start":
+            return  # keep output to one line per settled cell
+        width = len(str(event.total))
+        head = f"[{event.settled:>{width}}/{event.total}] {event.app} {event.label}"
+        eta = f" (eta {event.eta_s:.0f}s)" if event.eta_s is not None else ""
+        if event.kind == "cell-done":
+            print(f"{head} done in {event.wall_s:.2f}s{eta}", file=self.stream)
+        elif event.kind == "cell-cached":
+            print(f"{head} cached{eta}", file=self.stream)
+        elif event.kind == "cell-retry":
+            print(
+                f"{head} attempt {event.attempt} failed ({event.error}); "
+                "retrying",
+                file=self.stream,
+            )
+        elif event.kind == "cell-failed":
+            print(f"{head} FAILED: {event.error}{eta}", file=self.stream)

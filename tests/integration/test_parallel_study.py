@@ -1,0 +1,109 @@
+"""Parallel-vs-serial determinism and warm-cache guarantees.
+
+The executor's core contract: a grid run with ``max_workers=4`` is
+bit-identical to the serial run, and a second invocation against a warm
+cache performs zero simulations.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.interference import BackgroundSpec, interference_study
+from repro.core.sensitivity import sensitivity_sweep
+
+WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "4"))
+
+
+@pytest.fixture(scope="module")
+def three_app_traces():
+    return {
+        "CR": repro.crystal_router_trace(num_ranks=8, seed=1).scaled(0.05),
+        "FB": repro.fill_boundary_trace(num_ranks=8, seed=1).scaled(0.05),
+        "AMG": repro.amg_trace(num_ranks=8, seed=1).scaled(0.05),
+    }
+
+
+@pytest.fixture(scope="module")
+def config():
+    return repro.tiny().with_seed(1)
+
+
+def assert_identical_runs(a, b):
+    assert set(a.runs) == set(b.runs)
+    for key in a.runs:
+        ra, rb = a.runs[key], b.runs[key]
+        for field in (
+            "comm_time_ns",
+            "avg_hops",
+            "local_traffic_bytes",
+            "global_traffic_bytes",
+            "local_sat_ns",
+            "global_sat_ns",
+        ):
+            assert np.array_equal(
+                getattr(ra.metrics, field), getattr(rb.metrics, field)
+            ), (key, field)
+        assert ra.sim_time_ns == rb.sim_time_ns, key
+        assert ra.events == rb.events, key
+        assert ra.nodes == rb.nodes, key
+        assert ra.nonminimal_fraction == rb.nonminimal_fraction, key
+
+
+class TestThreeAppGrid:
+    def test_parallel_matches_serial(self, config, three_app_traces):
+        study = repro.TradeoffStudy(config, three_app_traces, seed=1)
+        serial = study.run()
+        parallel = study.run(max_workers=WORKERS)
+        assert list(serial.runs) == list(parallel.runs)  # same cell order
+        assert_identical_runs(serial, parallel)
+
+    def test_warm_cache_performs_zero_simulations(
+        self, config, three_app_traces, tmp_path
+    ):
+        study = repro.TradeoffStudy(config, three_app_traces, seed=1)
+        cold = study.run(max_workers=WORKERS, cache_dir=tmp_path)
+        grid_size = len(three_app_traces) * 5 * 2
+        assert cold.report.done == grid_size and cold.report.cached == 0
+
+        warm = study.run(max_workers=WORKERS, cache_dir=tmp_path)
+        assert warm.report.cached == grid_size
+        assert warm.report.done == 0 and warm.report.failed == 0
+        assert_identical_runs(cold, warm)
+
+    def test_cache_shared_between_serial_and_parallel(
+        self, config, three_app_traces, tmp_path
+    ):
+        study = repro.TradeoffStudy(config, three_app_traces, seed=1)
+        study.run(cache_dir=tmp_path)  # serial fill
+        warm = study.run(max_workers=WORKERS, cache_dir=tmp_path)
+        assert warm.report.cached == len(three_app_traces) * 5 * 2
+
+
+class TestSweepDrivers:
+    def test_sensitivity_parallel_matches_serial(self, config):
+        trace = repro.amg_trace(num_ranks=8, seed=1)
+        kw = dict(
+            scales=(0.5, 1.0),
+            configs=(("cont", "min"), ("rand", "adp")),
+            seed=1,
+        )
+        serial = sensitivity_sweep(config, trace, **kw)
+        parallel = sensitivity_sweep(config, trace, max_workers=WORKERS, **kw)
+        assert serial.labels() == parallel.labels()
+        for label in serial.labels():
+            assert np.array_equal(
+                serial.max_comm_ns[label], parallel.max_comm_ns[label]
+            )
+
+    def test_interference_parallel_matches_serial(self, config):
+        trace = repro.amg_trace(num_ranks=8, seed=1).scaled(0.05)
+        bg = BackgroundSpec("uniform", 1024, 10_000.0)
+        kw = dict(placements=("cont", "rand"), routings=("min", "adp"), seed=1)
+        serial = interference_study(config, trace, bg, **kw)
+        parallel = interference_study(
+            config, trace, bg, max_workers=WORKERS, **kw
+        )
+        assert_identical_runs(serial, parallel)

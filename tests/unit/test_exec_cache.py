@@ -1,0 +1,60 @@
+"""Disk result cache: hit/miss/invalidation/corruption behaviour."""
+
+import numpy as np
+
+import repro
+from repro.exec.cache import ResultCache
+from repro.exec.plan import plan_grid
+
+from tests.exec_helpers import make_stub_result, tiny_trace
+
+
+def one_spec(config=None, **kw):
+    config = config or repro.tiny()
+    plan = plan_grid(config, {"A": tiny_trace("A")}, ("cont",), ("min",), **kw)
+    return plan.specs[0]
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = one_spec()
+        result = make_stub_result(spec)
+        cache.put(spec.key, result)
+        loaded = cache.get(spec.key)
+        assert loaded is not None
+        assert loaded.app == result.app and loaded.label == result.label
+        assert np.array_equal(
+            loaded.metrics.comm_time_ns, result.metrics.comm_time_ns
+        )
+        assert cache.stats == {"hits": 1, "misses": 0, "stores": 1}
+
+    def test_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(one_spec().key) is None
+        assert cache.stats["misses"] == 1
+
+    def test_config_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = one_spec()
+        cache.put(spec.key, make_stub_result(spec))
+        assert one_spec(config=repro.small()).key not in cache
+        assert one_spec(seed=7).key not in cache
+        assert spec.key in cache
+
+    def test_corrupt_entry_is_miss_and_removed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = one_spec()
+        cache.put(spec.key, make_stub_result(spec))
+        cache.path_for(spec.key).write_bytes(b"not a pickle")
+        assert cache.get(spec.key) is None
+        assert not cache.path_for(spec.key).exists()
+
+    def test_len_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for seed in range(3):
+            spec = one_spec(seed=seed)
+            cache.put(spec.key, make_stub_result(spec))
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
