@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Congestion timelines from the repro.obs telemetry layer.
+
+Runs one FB cell with the time-resolved recorder attached, exports the
+telemetry to JSONL, reads it back, and renders a congestion timeline:
+
+* mean serialiser utilisation of local vs global links per window;
+* stalled (credit-blocked) fraction of the hottest link;
+* congestion-event overlay (buffer-full and adaptive-divert times).
+
+With matplotlib installed the figure is saved to ``obs-timeline.png``;
+without it the same series are printed as a compact ASCII sparkline, so
+the example runs anywhere the simulator does.
+
+Run:  python examples/obs_timeline.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.obs import ObsConfig, export, read_jsonl
+from repro.topology.links import LinkKind
+
+BARS = " .:-=+*#%@"
+
+
+def sparkline(series: np.ndarray, width: int = 64) -> str:
+    """Downsample ``series`` to ``width`` buckets of one glyph each."""
+    if len(series) == 0:
+        return ""
+    buckets = np.array_split(series, min(width, len(series)))
+    peak = max(float(series.max()), 1e-12)
+    return "".join(
+        BARS[int(float(b.mean()) / peak * (len(BARS) - 1))] for b in buckets
+    )
+
+
+def main() -> None:
+    config = repro.small()
+    trace = repro.fill_boundary_trace(num_ranks=32, seed=1).scaled(0.1)
+
+    print("simulating FB on cont-adp with a 25 us observation window...")
+    result = repro.run_single(
+        config, trace, "cont", "adp", seed=1,
+        obs=ObsConfig(window_ns=25_000.0),
+    )
+    ts = result.obs
+    print(
+        f"  {ts.num_windows} windows x {ts.num_links} links, "
+        f"{len(ts.events)} congestion events"
+    )
+
+    # Round-trip through the JSONL export, exactly as the CLI writes it.
+    out = Path(tempfile.mkdtemp(prefix="repro-obs-")) / "FB-cont-adp.jsonl"
+    export(ts, out)
+    ts = read_jsonl(out)
+    print(f"  exported + re-read {out}")
+
+    spans = ts.window_spans()
+    t_ms = ts.edges / 1e6
+    util = ts.link_utilisation()
+    stalled = ts.stall_ns / spans[:, None]
+    local = ts.link_mask(kinds=(LinkKind.LOCAL_ROW, LinkKind.LOCAL_COL))
+    glob = ts.link_mask(kinds=(LinkKind.GLOBAL,))
+    hottest = int(np.argmax(ts.link_saturation_ns()))
+
+    series = {
+        "local util (mean)": util[:, local].mean(axis=1),
+        "global util (mean)": util[:, glob].mean(axis=1),
+        f"stall frac (link {hottest})": stalled[:, hottest],
+    }
+    event_times = {
+        kind: np.array([e.t_ns / 1e6 for e in ts.events if e.kind == kind])
+        for kind in ("buffer_full", "adaptive_divert")
+    }
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("\nmatplotlib not installed — ASCII timeline "
+              f"(0 .. {t_ms[-1]:.2f} ms):")
+        for label, values in series.items():
+            print(f"  {label:24s} |{sparkline(values)}| peak={values.max():.2f}")
+        for kind, times in event_times.items():
+            marks = np.histogram(times, bins=64, range=(0, t_ms[-1]))[0]
+            print(f"  {kind:24s} |{sparkline(marks)}| n={len(times)}")
+        return
+
+    fig, (ax_u, ax_s) = plt.subplots(
+        2, 1, figsize=(9, 5), sharex=True, height_ratios=(2, 1)
+    )
+    for label, values in series.items():
+        (ax_s if label.startswith("stall") else ax_u).plot(
+            t_ms, values, label=label
+        )
+    for kind, times in event_times.items():
+        if len(times):
+            ax_s.plot(times, np.full(len(times), -0.05), "|", label=kind)
+    ax_u.set_ylabel("utilisation")
+    ax_u.legend(loc="upper right", fontsize=8)
+    ax_s.set(xlabel="simulated time [ms]", ylabel="stalled fraction")
+    ax_s.legend(loc="upper right", fontsize=8)
+    fig.tight_layout()
+    fig.savefig("obs-timeline.png", dpi=150)
+    print("wrote obs-timeline.png")
+
+
+if __name__ == "__main__":
+    main()

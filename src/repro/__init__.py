@@ -46,7 +46,8 @@ from repro.apps import (
     BurstyTraffic,
     UniformRandomTraffic,
 )
-from repro.metrics import RunMetrics, cdf, box_stats
+from repro.metrics import RunMetrics, TimeSeriesMetrics, cdf, box_stats
+from repro.obs import CongestionEvent, ObsConfig, ObsRecorder
 from repro.core import (
     JobSpec,
     Recommendation,
@@ -101,6 +102,10 @@ __all__ = [
     "BurstyTraffic",
     "UniformRandomTraffic",
     "RunMetrics",
+    "TimeSeriesMetrics",
+    "CongestionEvent",
+    "ObsConfig",
+    "ObsRecorder",
     "cdf",
     "box_stats",
     "RunResult",

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro import config as cfg
 from repro.apps import APP_BUILDERS
@@ -30,6 +31,7 @@ from repro.core.study import TradeoffStudy
 from repro.core.runner import run_single
 from repro.exec.progress import TextReporter
 from repro.mpi.dumpi import load_trace
+from repro.obs import ObsConfig, export as obs_export
 
 __all__ = ["main"]
 
@@ -77,6 +79,33 @@ def _add_common(p: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print per-cell progress/ETA telemetry to stderr",
     )
+    p.add_argument(
+        "--obs",
+        action="store_true",
+        help="record time-resolved per-link telemetry (repro.obs) on "
+        "every simulated cell",
+    )
+    p.add_argument(
+        "--obs-window-ns",
+        type=float,
+        default=50_000.0,
+        metavar="NS",
+        help="observability sampling window in simulated ns "
+        "(default: 50000)",
+    )
+    p.add_argument(
+        "--obs-out",
+        default=None,
+        metavar="DIR",
+        help="export per-cell telemetry (one file per cell) under this "
+        "directory; implies --obs",
+    )
+    p.add_argument(
+        "--obs-format",
+        choices=("jsonl", "csv"),
+        default="jsonl",
+        help="telemetry export format (default: jsonl)",
+    )
 
 
 def _exec_opts(args) -> dict:
@@ -86,6 +115,27 @@ def _exec_opts(args) -> dict:
         "cache_dir": args.cache_dir,
         "progress": TextReporter() if args.progress else None,
     }
+
+
+def _obs_config(args) -> ObsConfig | None:
+    """The observability configuration implied by the CLI flags."""
+    if not (args.obs or args.obs_out):
+        return None
+    return ObsConfig(window_ns=args.obs_window_ns)
+
+
+def _export_study_obs(result, args) -> None:
+    """Write one telemetry file per observed cell of a grid study."""
+    if args.obs_out is None:
+        return
+    out = Path(args.obs_out)
+    written = 0
+    for (app, placement, routing), run in result.runs.items():
+        if run.obs is None:
+            continue
+        obs_export(run.obs, out / f"{app}-{placement}-{routing}.{args.obs_format}")
+        written += 1
+    print(f"obs: wrote {written} telemetry file(s) to {out}/", file=sys.stderr)
 
 
 def _build_trace(args):
@@ -159,9 +209,10 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "study":
         trace = _build_trace(args)
-        result = TradeoffStudy(config, {args.app: trace}, seed=args.seed).run(
-            verbose=True, **_exec_opts(args)
-        )
+        result = TradeoffStudy(
+            config, {args.app: trace}, seed=args.seed, obs=_obs_config(args)
+        ).run(verbose=True, **_exec_opts(args))
+        _export_study_obs(result, args)
         print()
         print(
             format_box_table(
@@ -185,7 +236,8 @@ def main(argv: list[str] | None = None) -> int:
         trace = _build_trace(args)
         scales = PAPER_SCALES[args.app]
         sens = sensitivity_sweep(
-            config, trace, scales, seed=args.seed, **_exec_opts(args)
+            config, trace, scales, seed=args.seed, obs=_obs_config(args),
+            **_exec_opts(args),
         )
         rel = sens.relative()
         print(
@@ -206,8 +258,10 @@ def main(argv: list[str] | None = None) -> int:
             fanout=args.bg_fanout,
         )
         result = interference_study(
-            config, trace, spec, seed=args.seed, **_exec_opts(args)
+            config, trace, spec, seed=args.seed, obs=_obs_config(args),
+            **_exec_opts(args),
         )
+        _export_study_obs(result, args)
         print(
             format_box_table(
                 result.comm_time_boxes(args.app),
@@ -220,11 +274,18 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "replay":
         trace = load_trace(args.trace_file)
         result = run_single(
-            config, trace, args.placement, args.routing, seed=args.seed
+            config, trace, args.placement, args.routing, seed=args.seed,
+            obs=_obs_config(args),
         )
         s = result.metrics.summary()
         for k, v in s.items():
             print(f"{k:>18}: {v:.4f}")
+        if result.obs is not None and args.obs_out is not None:
+            out = Path(args.obs_out)
+            if out.suffix not in (".jsonl", ".csv"):
+                out = out / f"{trace.name}-{args.placement}-{args.routing}.{args.obs_format}"
+            obs_export(result.obs, out)
+            print(f"obs: wrote telemetry to {out}", file=sys.stderr)
         return 0
 
     if args.command == "advise":

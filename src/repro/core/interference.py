@@ -86,11 +86,13 @@ def interference_study(
     max_workers: int = 1,
     cache_dir=None,
     progress=None,
+    obs=None,
 ) -> StudyResult:
     """Run the placement x routing grid with background traffic.
 
     ``max_workers``/``cache_dir``/``progress`` are forwarded to
-    :meth:`TradeoffStudy.run` (and on to :mod:`repro.exec`).
+    :meth:`TradeoffStudy.run` (and on to :mod:`repro.exec`); ``obs``
+    enables per-cell time-resolved telemetry on each ``RunResult``.
     """
     study = TradeoffStudy(
         config,
@@ -100,6 +102,7 @@ def interference_study(
         seed=seed,
         compute_scale=compute_scale,
         background=background,
+        obs=obs,
     )
     return study.run(
         max_workers=max_workers, cache_dir=cache_dir, progress=progress

@@ -8,9 +8,11 @@ from dataclasses import dataclass, field
 from repro.config import DragonflyParams, SimulationConfig
 from repro.engine.simulator import Simulator
 from repro.metrics.collector import RunMetrics
+from repro.metrics.timeseries import TimeSeriesMetrics
 from repro.mpi.replay import JobResult, ReplayEngine
 from repro.mpi.trace import JobTrace
 from repro.network.fabric import Fabric
+from repro.obs.recorder import ObsConfig, ObsRecorder
 from repro.placement.machine import Machine
 from repro.routing import make_routing
 from repro.routing.adaptive import AdaptiveRouting
@@ -49,6 +51,8 @@ class RunResult:
     nonminimal_fraction: float = 0.0
     background_messages: int = 0
     extra: dict = field(default_factory=dict)
+    #: Time-resolved telemetry (present when the run was observed).
+    obs: TimeSeriesMetrics | None = None
 
     @property
     def label(self) -> str:
@@ -66,6 +70,7 @@ def run_single(
     background=None,
     record_sends: bool = False,
     max_events: int | None = 50_000_000,
+    obs: ObsConfig | None = None,
 ) -> RunResult:
     """Simulate one application under one placement/routing combination.
 
@@ -73,6 +78,12 @@ def run_single(
     :class:`~repro.core.interference.BackgroundSpec`; its synthetic job
     occupies every node the placement leaves free (Section IV-C). The
     simulation stops when the target application finishes.
+
+    ``obs`` enables time-resolved observability (see :mod:`repro.obs`):
+    the returned result carries a
+    :class:`~repro.metrics.timeseries.TimeSeriesMetrics` in ``.obs``.
+    Observation never changes the physics — metrics are bit-identical
+    with and without it.
     """
     if seed is None:
         seed = config.seed
@@ -94,10 +105,15 @@ def run_single(
         injector = background.build(bg_nodes, seed=seed)
         engine.add_injector(injector)
 
+    recorder = None
+    if obs is not None:
+        recorder = ObsRecorder(sim, fabric, obs).install()
+
     engine.run(target_job=TARGET_JOB, max_events=max_events)
 
     job = engine.job_result(TARGET_JOB)
     metrics = RunMetrics.from_run(fabric, topo, job, nodes)
+    timeseries = recorder.finalize(sim.now) if recorder is not None else None
 
     nonmin_frac = 0.0
     if isinstance(routing_policy, AdaptiveRouting):
@@ -117,4 +133,5 @@ def run_single(
         events=sim.events_run,
         nonminimal_fraction=nonmin_frac,
         background_messages=injector.messages_sent if injector else 0,
+        obs=timeseries,
     )

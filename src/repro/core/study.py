@@ -36,6 +36,7 @@ class TradeoffStudy:
         compute_scale: float = 0.0,
         background=None,
         record_sends: bool = False,
+        obs=None,
     ) -> None:
         if not isinstance(traces, Mapping):
             traces = {t.name: t for t in traces}
@@ -49,6 +50,7 @@ class TradeoffStudy:
         self.compute_scale = compute_scale
         self.background = background
         self.record_sends = record_sends
+        self.obs = obs
 
     def plan(self):
         """The study as a flat :class:`~repro.exec.plan.ExperimentPlan`."""
@@ -61,6 +63,7 @@ class TradeoffStudy:
             compute_scale=self.compute_scale,
             background=self.background,
             record_sends=self.record_sends,
+            obs=self.obs,
         )
 
     def run(

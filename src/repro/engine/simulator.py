@@ -17,13 +17,18 @@ __all__ = ["Simulator"]
 class Simulator:
     """A sequential discrete-event simulator with a heap calendar."""
 
-    __slots__ = ("now", "_queue", "_seq", "_events_run")
+    __slots__ = ("now", "_queue", "_seq", "_events_run", "_heartbeats", "_hb_next")
 
     def __init__(self) -> None:
         self.now: float = 0.0
         self._queue: list[tuple[float, int, Callable[..., None], tuple[Any, ...]]] = []
         self._seq: int = 0
         self._events_run: int = 0
+        # Heartbeats: [next_fire_time, interval, fn] triples, fired at
+        # exact multiples of their interval *between* events, outside the
+        # calendar (they never count toward events_run or max_events).
+        self._heartbeats: list[list] = []
+        self._hb_next: float = float("inf")
 
     def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
         """Run ``fn(*args)`` at ``now + delay``."""
@@ -40,6 +45,48 @@ class Simulator:
         heapq.heappush(self._queue, (time, self._seq, fn, args))
         self._seq += 1
 
+    def add_heartbeat(
+        self,
+        interval: float,
+        fn: Callable[[float], None],
+        start: float | None = None,
+    ) -> None:
+        """Call ``fn(t)`` at ``t = start, start+interval, ...`` during :meth:`run`.
+
+        Heartbeats are the periodic-sampling hook used by the
+        observability layer: they fire at exact times regardless of
+        event density, *before* any event scheduled at the same or a
+        later time, in registration order on ties. They live outside the
+        event calendar — no heap traffic, no ``events_run`` increments —
+        so a run with no heartbeats registered is bit-identical to one
+        on a simulator that predates them. Firing stops when the run
+        stops; pending heartbeat times simply remain due.
+        """
+        if interval <= 0:
+            raise ValueError(f"heartbeat interval must be positive (got {interval})")
+        first = self.now + interval if start is None else start
+        if first < self.now:
+            raise ValueError(
+                f"heartbeat cannot start at {first} before current time {self.now}"
+            )
+        self._heartbeats.append([first, interval, fn])
+        if first < self._hb_next:
+            self._hb_next = first
+
+    def _fire_heartbeats(self, limit: float) -> None:
+        """Fire every heartbeat due at or before ``limit``, in time order."""
+        hb = self._heartbeats
+        while True:
+            t = min(e[0] for e in hb)
+            if t > limit:
+                break
+            for e in hb:
+                if e[0] == t:
+                    self.now = t
+                    e[2](t)
+                    e[0] = t + e[1]
+        self._hb_next = min(e[0] for e in hb)
+
     def run(
         self,
         until: float | None = None,
@@ -54,11 +101,17 @@ class Simulator:
         """
         queue = self._queue
         pop = heapq.heappop
+        heartbeats = self._heartbeats
         while queue:
             time, _, fn, args = queue[0]
             if until is not None and time > until:
+                if heartbeats and self._hb_next <= until:
+                    self._fire_heartbeats(until)
                 self.now = until
                 break
+            if heartbeats and self._hb_next <= time:
+                self._fire_heartbeats(time)
+                continue  # a heartbeat may have scheduled new events
             pop(queue)
             self.now = time
             fn(*args)

@@ -40,9 +40,13 @@ __all__ = [
 
 #: Cache-namespace salt folded into every spec key. Bump the version
 #: suffix whenever a change alters simulation *results* (routing logic,
-#: replay semantics, metric extraction, ...) so stale cached cells are
-#: never served for new code.
-CODE_SALT = "repro-exec/v1"
+#: replay semantics, metric extraction, ...) or the shape of what a
+#: cached ``RunResult`` carries, so stale cached cells are never served
+#: for new code.
+#:
+#: History: v1 = original executor; v2 = repro.obs schema (RunResult
+#: grew ``obs``/``TimeSeriesMetrics``, specs grew an ``obs`` field).
+CODE_SALT = "repro-exec/v2"
 
 #: Default replay event budget, mirrored from ``run_single``.
 DEFAULT_MAX_EVENTS = 50_000_000
@@ -80,9 +84,11 @@ class RunSpec:
     ``app`` is the plan-local trace key (the study's application name,
     suffixed with the scale for sweeps); the trace itself travels beside
     the spec in the :class:`ExperimentPlan` so specs stay tiny.
-    ``background`` is a frozen dataclass (``BackgroundSpec``) or None.
-    ``tags`` is free-form labelling (e.g. ``("scale=0.5",)``) that is
-    part of the identity hash.
+    ``background`` is a frozen dataclass (``BackgroundSpec``) or None;
+    ``obs`` likewise (:class:`~repro.obs.recorder.ObsConfig`) — both are
+    part of the identity hash, so an observed cell never shares a cache
+    entry with an unobserved one. ``tags`` is free-form labelling (e.g.
+    ``("scale=0.5",)``) that is part of the identity hash.
     """
 
     app: str
@@ -96,6 +102,7 @@ class RunSpec:
     record_sends: bool = False
     max_events: int | None = DEFAULT_MAX_EVENTS
     tags: tuple[str, ...] = ()
+    obs: Any = None
 
     @property
     def label(self) -> str:
@@ -109,6 +116,11 @@ class RunSpec:
             dataclasses.asdict(self.background)
             if dataclasses.is_dataclass(self.background)
             else self.background
+        )
+        obs = (
+            dataclasses.asdict(self.obs)
+            if dataclasses.is_dataclass(self.obs)
+            else self.obs
         )
         payload = json.dumps(
             {
@@ -124,6 +136,7 @@ class RunSpec:
                 "record_sends": self.record_sends,
                 "max_events": self.max_events,
                 "tags": list(self.tags),
+                "obs": obs,
             },
             sort_keys=True,
         )
@@ -162,6 +175,7 @@ def plan_grid(
     background: Any = None,
     record_sends: bool = False,
     max_events: int | None = DEFAULT_MAX_EVENTS,
+    obs: Any = None,
 ) -> ExperimentPlan:
     """Enumerate the placement x routing grid (paper Sections IV-A/IV-C).
 
@@ -182,6 +196,7 @@ def plan_grid(
             background=background,
             record_sends=record_sends,
             max_events=max_events,
+            obs=obs,
         )
         for app in traces
         for placement in placements
@@ -198,6 +213,7 @@ def plan_sensitivity(
     seed: int = 0,
     compute_scale: float = 0.0,
     max_events: int | None = DEFAULT_MAX_EVENTS,
+    obs: Any = None,
 ) -> ExperimentPlan:
     """Enumerate the message-size sweep (paper Section IV-B).
 
@@ -225,6 +241,7 @@ def plan_sensitivity(
                     compute_scale=compute_scale,
                     max_events=max_events,
                     tags=(f"scale={scale:g}",),
+                    obs=obs,
                 )
             )
     return ExperimentPlan(config=config, specs=tuple(specs), traces=traces)

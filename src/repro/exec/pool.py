@@ -79,6 +79,7 @@ def simulate_spec(
         background=spec.background,
         record_sends=spec.record_sends,
         max_events=spec.max_events,
+        obs=spec.obs,
     )
 
 

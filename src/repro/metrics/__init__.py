@@ -7,9 +7,13 @@
   the routers serving the job's nodes.
 * **Link saturation time** — accumulated time a channel was stalled with
   queued packets but exhausted downstream buffers.
+
+Aggregates live in :class:`RunMetrics`; the time-resolved windowed view
+produced by :mod:`repro.obs` lives in :class:`TimeSeriesMetrics`.
 """
 
 from repro.metrics.collector import RunMetrics
+from repro.metrics.timeseries import CongestionEvent, TimeSeriesMetrics
 from repro.metrics.analysis import (
     BoxStats,
     box_stats,
@@ -19,7 +23,9 @@ from repro.metrics.analysis import (
 )
 
 __all__ = [
+    "CongestionEvent",
     "RunMetrics",
+    "TimeSeriesMetrics",
     "BoxStats",
     "box_stats",
     "cdf",

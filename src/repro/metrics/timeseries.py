@@ -1,0 +1,213 @@
+"""Time-resolved network metrics sampled into fixed-width windows.
+
+:class:`TimeSeriesMetrics` is the frozen output of one observed run
+(see :mod:`repro.obs`): per-link, per-window counters plus a structured
+congestion-event trace. It is the windowed counterpart of
+:class:`~repro.metrics.collector.RunMetrics` and is what the paper's
+time-resolved figures (per-channel traffic and link-saturation onset,
+Figs. 4-6) are derived from.
+
+Accounting contract (enforced by the invariant test suite):
+
+* ``bytes_fwd`` windows are deltas of an int64 cumulative counter, so
+  they telescope **exactly**: ``bytes_fwd.sum(axis=0)`` equals the
+  fabric's end-of-run ``bytes_tx`` per link, byte for byte.
+* ``busy_ns`` and ``stall_ns`` are deltas of monotone float
+  accumulators corrected for in-flight intervals at each window edge,
+  so every window value lies in ``[0, window span]`` (up to float
+  rounding) and column sums match the run aggregates to float
+  precision.
+* ``queue_bytes`` is an instantaneous sample at each window edge, not a
+  delta.
+
+``SCHEMA_VERSION`` identifies this layout in pickles and exports; bump
+it (together with :data:`repro.exec.plan.CODE_SALT`) whenever the
+layout changes, so stale cache entries and exports are never
+misinterpreted.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, NamedTuple
+
+import numpy as np
+
+from repro.topology.links import LinkKind
+
+__all__ = ["CongestionEvent", "TimeSeriesMetrics", "SCHEMA_VERSION"]
+
+#: Layout version of TimeSeriesMetrics pickles and exports.
+SCHEMA_VERSION = 1
+
+
+class CongestionEvent(NamedTuple):
+    """One structured entry of the congestion trace.
+
+    ``kind`` is one of ``"stall_onset"`` / ``"stall_clear"`` (a link's
+    credit-stall interval opening / closing; ``value`` is the interval
+    length on clear), ``"buffer_full"`` (a head packet could not obtain
+    downstream VC buffer space; ``value`` is the buffer occupancy), or
+    ``"adaptive_divert"`` (adaptive routing chose a non-minimal path;
+    ``link`` holds the deciding source *router* and ``value`` the chosen
+    path length).
+    """
+
+    t_ns: float
+    kind: str
+    link: int
+    vc: int
+    value: float
+
+
+class TimeSeriesMetrics:
+    """Windowed per-link network state for one simulated run.
+
+    Arrays are shaped ``(num_windows, num_links)`` unless noted. The
+    final window may be partial (it closes at the simulation's stop
+    time); consult ``edges`` for actual window spans.
+    """
+
+    def __init__(
+        self,
+        window_ns: float,
+        edges: np.ndarray,
+        bytes_fwd: np.ndarray,
+        busy_ns: np.ndarray,
+        stall_ns: np.ndarray,
+        queue_bytes: np.ndarray,
+        link_kind: np.ndarray,
+        link_src: np.ndarray,
+        injected_packets: np.ndarray,
+        delivered_packets: np.ndarray,
+        injected_bytes: np.ndarray,
+        delivered_bytes: np.ndarray,
+        events: list[CongestionEvent] | None = None,
+        events_dropped: int = 0,
+    ) -> None:
+        self.schema_version = SCHEMA_VERSION
+        self.window_ns = float(window_ns)
+        #: Window *end* times, shape ``(W,)``; window i spans
+        #: ``[edges[i-1], edges[i])`` with ``edges[-1-...]`` starting at 0.
+        self.edges = edges
+        self.bytes_fwd = bytes_fwd
+        self.busy_ns = busy_ns
+        self.stall_ns = stall_ns
+        self.queue_bytes = queue_bytes
+        self.link_kind = link_kind
+        self.link_src = link_src
+        #: Cumulative machine-wide counters sampled at each edge, ``(W,)``.
+        self.injected_packets = injected_packets
+        self.delivered_packets = delivered_packets
+        self.injected_bytes = injected_bytes
+        self.delivered_bytes = delivered_bytes
+        self.events = events if events is not None else []
+        #: Congestion events discarded after hitting the trace cap.
+        self.events_dropped = events_dropped
+
+    # ------------------------------------------------------------------
+    # shape and selection
+    # ------------------------------------------------------------------
+    @property
+    def num_windows(self) -> int:
+        return len(self.edges)
+
+    @property
+    def num_links(self) -> int:
+        return len(self.link_kind)
+
+    def window_spans(self) -> np.ndarray:
+        """Actual span of each window in ns (the last may be partial)."""
+        if len(self.edges) == 0:
+            return np.zeros(0)
+        starts = np.concatenate(([0.0], self.edges[:-1]))
+        return self.edges - starts
+
+    def link_mask(
+        self,
+        kinds: Iterable[LinkKind] | None = None,
+        routers: Iterable[int] | None = None,
+    ) -> np.ndarray:
+        """Boolean selector over links by kind and/or source router.
+
+        ``routers`` filters on the transmitting endpoint, matching the
+        "channels of the routers serving the job" convention of
+        :class:`~repro.metrics.collector.RunMetrics` (note that for
+        ``TERMINAL_IN`` links the source is a node id).
+        """
+        mask = np.ones(self.num_links, dtype=bool)
+        if kinds is not None:
+            mask &= np.isin(self.link_kind, [int(k) for k in kinds])
+        if routers is not None:
+            mask &= np.isin(self.link_src, np.asarray(list(routers)))
+        return mask
+
+    # ------------------------------------------------------------------
+    # derived metrics
+    # ------------------------------------------------------------------
+    def link_traffic_bytes(self) -> np.ndarray:
+        """Per-link total transmitted bytes, derived from windows."""
+        return self.bytes_fwd.sum(axis=0)
+
+    def link_saturation_ns(self) -> np.ndarray:
+        """Per-link total saturation time, derived from windows.
+
+        This is the windowed derivation of the paper's link *saturation
+        time*; it matches the fabric's running aggregate to float
+        precision (exactly, modulo rounding of the window deltas).
+        """
+        return self.stall_ns.sum(axis=0)
+
+    def link_utilisation(self) -> np.ndarray:
+        """Per-window, per-link serialiser utilisation in ``[0, 1]``."""
+        spans = self.window_spans()
+        with np.errstate(invalid="ignore", divide="ignore"):
+            util = np.where(spans[:, None] > 0, self.busy_ns / spans[:, None], 0.0)
+        return util
+
+    def saturation_onset_ns(self, frac: float = 0.5) -> np.ndarray:
+        """Per-link time of first window with stall fraction >= ``frac``.
+
+        Returns the window *end* time of the first qualifying window per
+        link, or ``np.inf`` for links that never reach it — the "when
+        does a link saturate" quantity of the paper's analysis.
+        """
+        if not 0.0 < frac <= 1.0:
+            raise ValueError("frac must be in (0, 1]")
+        spans = self.window_spans()
+        onset = np.full(self.num_links, np.inf)
+        if self.num_windows == 0:
+            return onset
+        with np.errstate(invalid="ignore", divide="ignore"):
+            hot = self.stall_ns >= frac * np.maximum(spans[:, None], 1e-300)
+        for lid in np.nonzero(hot.any(axis=0))[0]:
+            onset[lid] = self.edges[int(np.argmax(hot[:, lid]))]
+        return onset
+
+    def class_series(self, *kinds: LinkKind) -> dict[str, np.ndarray]:
+        """Per-window sums over one link class: traffic, stall, busy, queue."""
+        mask = self.link_mask(kinds=kinds)
+        return {
+            "bytes_fwd": self.bytes_fwd[:, mask].sum(axis=1),
+            "stall_ns": self.stall_ns[:, mask].sum(axis=1),
+            "busy_ns": self.busy_ns[:, mask].sum(axis=1),
+            "queue_bytes": self.queue_bytes[:, mask].sum(axis=1),
+        }
+
+    def in_flight_packets(self) -> np.ndarray:
+        """Packets injected but not yet delivered, at each window edge."""
+        return self.injected_packets - self.delivered_packets
+
+    def summary(self) -> dict[str, float]:
+        """Flat scalar summary (mirrors ``RunMetrics.summary`` style)."""
+        local = self.link_mask(kinds=(LinkKind.LOCAL_ROW, LinkKind.LOCAL_COL))
+        glob = self.link_mask(kinds=(LinkKind.GLOBAL,))
+        return {
+            "windows": float(self.num_windows),
+            "window_ns": self.window_ns,
+            "span_ns": float(self.edges[-1]) if self.num_windows else 0.0,
+            "local_traffic_mb": float(self.bytes_fwd[:, local].sum()) / 1e6,
+            "global_traffic_mb": float(self.bytes_fwd[:, glob].sum()) / 1e6,
+            "local_sat_ms": float(self.stall_ns[:, local].sum()) / 1e6,
+            "global_sat_ms": float(self.stall_ns[:, glob].sum()) / 1e6,
+            "events": float(len(self.events)),
+        }

@@ -80,11 +80,23 @@ class Fabric:
         self.bytes_tx: list[int] = [0] * n_links
         #: Per-link accumulated saturation time in ns.
         self.sat_ns: list[float] = [0.0] * n_links
+        #: Per-link accumulated serialiser-busy time in ns. Durations are
+        #: credited when a transmission *starts*; busy time elapsed only
+        #: up to an instant T is ``busy_ns[l] - max(0, busy_until[l] - T)``
+        #: (transmissions on one link never overlap).
+        self.busy_ns: list[float] = [0.0] * n_links
 
+        self.packets_injected = 0
         self.packets_delivered = 0
         self.messages_delivered = 0
         self.bytes_injected = 0
         self.bytes_delivered = 0
+
+        #: Optional observability recorder (see :mod:`repro.obs`). When
+        #: ``None`` (the default) every obs hook below is a skipped
+        #: branch on an already-cold path, and results are bit-identical
+        #: to a fabric without the hooks.
+        self.obs = None
 
     # ------------------------------------------------------------------
     # public API
@@ -95,6 +107,7 @@ class Fabric:
         first_link = self.topo.terminal_in(msg.src_node)
         for pkt in packetize(msg, self.net.packet_size, first_link):
             self.bytes_injected += pkt.size
+            self.packets_injected += 1
             self._enqueue(pkt, first_link)
 
     def drain_saturation(self) -> None:
@@ -157,6 +170,8 @@ class Fabric:
             if buf_used[base + vc] + head.size <= cap:
                 chosen_vc = vc
                 pkt = head
+            elif self.obs is not None:
+                self.obs.on_buffer_full(now, link, vc, buf_used[base + vc], cap)
         else:
             start = self._rr_next[link]
             ranked = [
@@ -171,16 +186,23 @@ class Fabric:
                     chosen_vc = vc
                     pkt = head
                     break
+                if self.obs is not None:
+                    self.obs.on_buffer_full(now, link, vc, buf_used[base + vc], cap)
 
         if pkt is None:
             # Stalled on credits alone: open a saturation interval.
             if self._blocked_since[link] < 0.0:
                 self._blocked_since[link] = now
+                if self.obs is not None:
+                    self.obs.on_stall_onset(now, link)
             return
 
         if self._blocked_since[link] >= 0.0:
-            self.sat_ns[link] += now - self._blocked_since[link]
+            since = self._blocked_since[link]
+            self.sat_ns[link] += now - since
             self._blocked_since[link] = -1.0
+            if self.obs is not None:
+                self.obs.on_stall_clear(now, link, now - since)
 
         waitq[chosen_vc].popleft()
         self._wait_count[link] -= 1
@@ -212,6 +234,7 @@ class Fabric:
             arrival = end + lat
         pkt.tail_time = end + lat
         self.busy_until[link] = end
+        self.busy_ns[link] += end - now
         self.bytes_tx[link] += pkt.size
         self.sim.at(end, self._tx_done, link)
         self.sim.at(arrival, self._arrive, pkt)

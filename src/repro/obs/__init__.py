@@ -1,0 +1,38 @@
+"""repro.obs — low-overhead, time-resolved network observability.
+
+The paper's core evidence is *time-resolved* network state: per-channel
+traffic, hops, and link-saturation onset over the run (Figs. 4-6). This
+package samples a live :class:`~repro.network.fabric.Fabric` into
+fixed-width windows and records a structured congestion-event trace,
+producing a :class:`~repro.metrics.timeseries.TimeSeriesMetrics` that
+travels on :class:`~repro.core.runner.RunResult` (and therefore through
+the :mod:`repro.exec` pool and disk cache).
+
+Enable it per run with ``run_single(..., obs=ObsConfig(...))``, per
+study with ``TradeoffStudy(..., obs=...)``, or from the CLI with
+``--obs [--obs-window-ns N --obs-out PATH]``.
+
+Disabled (the default), the simulation is bit-identical to an
+unobserved run — see the overhead contract in
+:mod:`repro.obs.recorder`.
+"""
+
+from repro.metrics.timeseries import (
+    SCHEMA_VERSION,
+    CongestionEvent,
+    TimeSeriesMetrics,
+)
+from repro.obs.export import export, read_jsonl, write_csv, write_jsonl
+from repro.obs.recorder import ObsConfig, ObsRecorder
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CongestionEvent",
+    "ObsConfig",
+    "ObsRecorder",
+    "TimeSeriesMetrics",
+    "export",
+    "read_jsonl",
+    "write_csv",
+    "write_jsonl",
+]

@@ -1,0 +1,195 @@
+"""Serialise :class:`TimeSeriesMetrics` to JSONL / CSV and back.
+
+JSONL layout (one object per line, ``type`` discriminated):
+
+* ``header`` — schema version, window width, link kinds/sources;
+* ``window`` — one per window: end time plus full per-link arrays;
+* ``event``  — one per retained congestion event;
+* ``footer`` — totals for cheap integrity checks on partial reads.
+
+CSV is the long-format per-(window, link) table most plotting tools
+want directly; congestion events are not representable in it (use
+JSONL when the trace matters).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.metrics.timeseries import (
+    SCHEMA_VERSION,
+    CongestionEvent,
+    TimeSeriesMetrics,
+)
+
+__all__ = ["write_jsonl", "read_jsonl", "write_csv", "export"]
+
+
+def write_jsonl(ts: TimeSeriesMetrics, path: str | os.PathLike) -> Path:
+    """Write the full series (windows + events) as JSON lines."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        fh.write(
+            json.dumps(
+                {
+                    "type": "header",
+                    "schema_version": ts.schema_version,
+                    "window_ns": ts.window_ns,
+                    "num_links": ts.num_links,
+                    "num_windows": ts.num_windows,
+                    "link_kind": ts.link_kind.tolist(),
+                    "link_src": ts.link_src.tolist(),
+                }
+            )
+            + "\n"
+        )
+        for i in range(ts.num_windows):
+            fh.write(
+                json.dumps(
+                    {
+                        "type": "window",
+                        "t_ns": float(ts.edges[i]),
+                        "bytes_fwd": ts.bytes_fwd[i].tolist(),
+                        "busy_ns": ts.busy_ns[i].tolist(),
+                        "stall_ns": ts.stall_ns[i].tolist(),
+                        "queue_bytes": ts.queue_bytes[i].tolist(),
+                        "injected_packets": int(ts.injected_packets[i]),
+                        "delivered_packets": int(ts.delivered_packets[i]),
+                    }
+                )
+                + "\n"
+            )
+        for ev in ts.events:
+            fh.write(
+                json.dumps(
+                    {
+                        "type": "event",
+                        "t_ns": ev.t_ns,
+                        "kind": ev.kind,
+                        "link": ev.link,
+                        "vc": ev.vc,
+                        "value": ev.value,
+                    }
+                )
+                + "\n"
+            )
+        fh.write(
+            json.dumps(
+                {
+                    "type": "footer",
+                    "total_bytes": int(ts.bytes_fwd.sum()),
+                    "total_stall_ns": float(ts.stall_ns.sum()),
+                    "events": len(ts.events),
+                    "events_dropped": ts.events_dropped,
+                }
+            )
+            + "\n"
+        )
+    return path
+
+
+def read_jsonl(path: str | os.PathLike) -> TimeSeriesMetrics:
+    """Rebuild a :class:`TimeSeriesMetrics` from :func:`write_jsonl` output."""
+    header = None
+    windows: list[dict] = []
+    events: list[CongestionEvent] = []
+    footer: dict = {}
+    with open(path) as fh:
+        for line in fh:
+            rec = json.loads(line)
+            kind = rec.pop("type")
+            if kind == "header":
+                header = rec
+            elif kind == "window":
+                windows.append(rec)
+            elif kind == "event":
+                events.append(
+                    CongestionEvent(
+                        rec["t_ns"], rec["kind"], rec["link"], rec["vc"],
+                        rec["value"],
+                    )
+                )
+            elif kind == "footer":
+                footer = rec
+    if header is None:
+        raise ValueError(f"{path}: missing JSONL header record")
+    if header["schema_version"] != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema version {header['schema_version']} "
+            f"(this code reads {SCHEMA_VERSION})"
+        )
+    n = header["num_links"]
+
+    def stack(field: str, dtype) -> np.ndarray:
+        if not windows:
+            return np.zeros((0, n), dtype=dtype)
+        return np.asarray([w[field] for w in windows], dtype=dtype)
+
+    return TimeSeriesMetrics(
+        window_ns=header["window_ns"],
+        edges=np.asarray([w["t_ns"] for w in windows]),
+        bytes_fwd=stack("bytes_fwd", np.int64),
+        busy_ns=stack("busy_ns", np.float64),
+        stall_ns=stack("stall_ns", np.float64),
+        queue_bytes=stack("queue_bytes", np.int64),
+        link_kind=np.asarray(header["link_kind"], dtype=np.int8),
+        link_src=np.asarray(header["link_src"], dtype=np.int32),
+        injected_packets=np.asarray(
+            [w["injected_packets"] for w in windows], dtype=np.int64
+        ),
+        delivered_packets=np.asarray(
+            [w["delivered_packets"] for w in windows], dtype=np.int64
+        ),
+        injected_bytes=np.zeros(len(windows), dtype=np.int64),
+        delivered_bytes=np.zeros(len(windows), dtype=np.int64),
+        events=events,
+        events_dropped=int(footer.get("events_dropped", 0)),
+    )
+
+
+def write_csv(ts: TimeSeriesMetrics, path: str | os.PathLike) -> Path:
+    """Write the long-format per-(window, link) table."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            [
+                "window_end_ns",
+                "link",
+                "link_kind",
+                "bytes_fwd",
+                "busy_ns",
+                "stall_ns",
+                "queue_bytes",
+            ]
+        )
+        for i in range(ts.num_windows):
+            t = float(ts.edges[i])
+            for lid in range(ts.num_links):
+                writer.writerow(
+                    [
+                        t,
+                        lid,
+                        int(ts.link_kind[lid]),
+                        int(ts.bytes_fwd[i, lid]),
+                        float(ts.busy_ns[i, lid]),
+                        float(ts.stall_ns[i, lid]),
+                        int(ts.queue_bytes[i, lid]),
+                    ]
+                )
+    return path
+
+
+def export(ts: TimeSeriesMetrics, path: str | os.PathLike) -> Path:
+    """Write ``ts`` in the format implied by ``path``'s extension."""
+    path = Path(path)
+    if path.suffix == ".csv":
+        return write_csv(ts, path)
+    return write_jsonl(ts, path)

@@ -128,4 +128,8 @@ class AdaptiveRouting(RoutingPolicy):
             self.minimal_taken += 1
         else:
             self.nonminimal_taken += 1
+            if fabric.obs is not None:
+                fabric.obs.on_adaptive_divert(
+                    fabric.sim.now, src_router, len(best_path)
+                )
         return best_path + [topo.terminal_out(dst_node)]

@@ -1,11 +1,50 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures, marker wiring, and the golden-update flow."""
 
 from __future__ import annotations
+
+from pathlib import Path
 
 import pytest
 
 from repro.config import DragonflyParams, tiny, small
 from repro.core.runner import build_topology
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite golden-metrics fixtures from the current code "
+        "instead of comparing against them (review the diff!)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    """Auto-apply suite markers by directory.
+
+    ``tests/unit`` -> ``unit``, ``tests/integration`` -> ``integration``,
+    so ``-m unit`` / ``-m 'not slow'`` work without per-file boilerplate.
+    ``slow`` stays a manual, per-test mark.
+    """
+    root = Path(str(config.rootpath))
+    for item in items:
+        try:
+            rel = Path(str(item.fspath)).relative_to(root)
+        except ValueError:
+            continue
+        parts = rel.parts
+        if len(parts) >= 2 and parts[0] == "tests":
+            if parts[1] == "unit":
+                item.add_marker(pytest.mark.unit)
+            elif parts[1] == "integration":
+                item.add_marker(pytest.mark.integration)
+
+
+@pytest.fixture(scope="session")
+def update_goldens(request) -> bool:
+    """True when the run should rewrite golden fixtures in place."""
+    return bool(request.config.getoption("--update-goldens"))
 
 
 @pytest.fixture(scope="session")

@@ -3,6 +3,8 @@
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.slow
+
 import repro
 from repro.core.runner import build_topology
 from repro.topology.links import LinkKind
