@@ -29,6 +29,7 @@ from repro.core.report import (
 from repro.core.sensitivity import PAPER_SCALES, sensitivity_sweep
 from repro.core.study import TradeoffStudy
 from repro.core.runner import run_single
+from repro.engine.queues import SCHEDULER_NAMES
 from repro.exec.progress import TextReporter
 from repro.mpi.dumpi import load_trace
 from repro.obs import ObsConfig, export as obs_export
@@ -105,6 +106,14 @@ def _add_common(p: argparse.ArgumentParser) -> None:
         choices=("jsonl", "csv"),
         default="jsonl",
         help="telemetry export format (default: jsonl)",
+    )
+    p.add_argument(
+        "--scheduler",
+        choices=SCHEDULER_NAMES,
+        default="heap",
+        help="engine event-queue implementation; a pure performance "
+        "knob — results are bit-identical under every choice "
+        "(default: heap)",
     )
 
 
@@ -210,7 +219,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "study":
         trace = _build_trace(args)
         result = TradeoffStudy(
-            config, {args.app: trace}, seed=args.seed, obs=_obs_config(args)
+            config, {args.app: trace}, seed=args.seed, obs=_obs_config(args),
+            scheduler=args.scheduler,
         ).run(verbose=True, **_exec_opts(args))
         _export_study_obs(result, args)
         print()
@@ -237,7 +247,7 @@ def main(argv: list[str] | None = None) -> int:
         scales = PAPER_SCALES[args.app]
         sens = sensitivity_sweep(
             config, trace, scales, seed=args.seed, obs=_obs_config(args),
-            **_exec_opts(args),
+            scheduler=args.scheduler, **_exec_opts(args),
         )
         rel = sens.relative()
         print(
@@ -259,7 +269,7 @@ def main(argv: list[str] | None = None) -> int:
         )
         result = interference_study(
             config, trace, spec, seed=args.seed, obs=_obs_config(args),
-            **_exec_opts(args),
+            scheduler=args.scheduler, **_exec_opts(args),
         )
         _export_study_obs(result, args)
         print(
@@ -275,7 +285,7 @@ def main(argv: list[str] | None = None) -> int:
         trace = load_trace(args.trace_file)
         result = run_single(
             config, trace, args.placement, args.routing, seed=args.seed,
-            obs=_obs_config(args),
+            obs=_obs_config(args), scheduler=args.scheduler,
         )
         s = result.metrics.summary()
         for k, v in s.items():

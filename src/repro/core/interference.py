@@ -87,6 +87,7 @@ def interference_study(
     cache_dir=None,
     progress=None,
     obs=None,
+    scheduler: str = "heap",
 ) -> StudyResult:
     """Run the placement x routing grid with background traffic.
 
@@ -103,6 +104,7 @@ def interference_study(
         compute_scale=compute_scale,
         background=background,
         obs=obs,
+        scheduler=scheduler,
     )
     return study.run(
         max_workers=max_workers, cache_dir=cache_dir, progress=progress

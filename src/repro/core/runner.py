@@ -71,6 +71,7 @@ def run_single(
     record_sends: bool = False,
     max_events: int | None = 50_000_000,
     obs: ObsConfig | None = None,
+    scheduler: str = "heap",
 ) -> RunResult:
     """Simulate one application under one placement/routing combination.
 
@@ -84,6 +85,10 @@ def run_single(
     :class:`~repro.metrics.timeseries.TimeSeriesMetrics` in ``.obs``.
     Observation never changes the physics — metrics are bit-identical
     with and without it.
+
+    ``scheduler`` selects the engine's event-queue implementation
+    (``"heap"`` or ``"calendar"``); a pure performance knob — results
+    are bit-identical under either (see DESIGN.md S14).
     """
     if seed is None:
         seed = config.seed
@@ -91,7 +96,7 @@ def run_single(
     machine = Machine(config.topology)
     nodes = machine.allocate(placement, trace.num_ranks, seed=seed)
 
-    sim = Simulator()
+    sim = Simulator(scheduler=scheduler)
     routing_policy = make_routing(routing, seed=seed)
     fabric = Fabric(sim, topo, config.network, routing_policy)
     engine = ReplayEngine(

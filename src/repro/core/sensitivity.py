@@ -87,6 +87,7 @@ def sensitivity_sweep(
     cache_dir=None,
     progress=None,
     obs=None,
+    scheduler: str = "heap",
 ) -> SensitivityResult:
     """Run the message-size sweep for one application.
 
@@ -103,7 +104,7 @@ def sensitivity_sweep(
 
     plan = plan_sensitivity(
         config, trace, scales, configs, seed=seed, compute_scale=compute_scale,
-        obs=obs,
+        obs=obs, scheduler=scheduler,
     )
     report = execute_plan(
         plan,

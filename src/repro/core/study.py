@@ -37,6 +37,7 @@ class TradeoffStudy:
         background=None,
         record_sends: bool = False,
         obs=None,
+        scheduler: str = "heap",
     ) -> None:
         if not isinstance(traces, Mapping):
             traces = {t.name: t for t in traces}
@@ -51,6 +52,7 @@ class TradeoffStudy:
         self.background = background
         self.record_sends = record_sends
         self.obs = obs
+        self.scheduler = scheduler
 
     def plan(self):
         """The study as a flat :class:`~repro.exec.plan.ExperimentPlan`."""
@@ -64,6 +66,7 @@ class TradeoffStudy:
             background=self.background,
             record_sends=self.record_sends,
             obs=self.obs,
+            scheduler=self.scheduler,
         )
 
     def run(

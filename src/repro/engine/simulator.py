@@ -1,27 +1,49 @@
 """The event calendar.
 
 Hot-path notes (per the HPC-Python guides: profile first, keep the inner
-loop allocation-light): events are plain tuples in a ``heapq``; the
-monotonically increasing sequence number both breaks time ties
-deterministically and avoids ever comparing callbacks.
+loop allocation-light): events are plain tuples in a pluggable
+:class:`~repro.engine.queues.EventQueue`; the monotonically increasing
+sequence number both breaks time ties deterministically and avoids ever
+comparing callbacks. Because ``(time, seq)`` is a *total* order, every
+correct queue implementation pops the same push sequence in the same
+order — the scheduler choice is a pure performance knob.
 """
 
 from __future__ import annotations
 
 import heapq
+import sys
 from typing import Any, Callable
+
+from repro.engine.queues import HeapQueue, make_queue
 
 __all__ = ["Simulator"]
 
 
 class Simulator:
-    """A sequential discrete-event simulator with a heap calendar."""
+    """A sequential discrete-event simulator with a pluggable calendar.
 
-    __slots__ = ("now", "_queue", "_seq", "_events_run", "_heartbeats", "_hb_next")
+    ``scheduler`` selects the event-queue implementation (``"heap"`` —
+    the default binary heap — or ``"calendar"``, a bucketed calendar
+    queue); results are bit-identical under either.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = (
+        "now",
+        "scheduler",
+        "_queue",
+        "_push",
+        "_seq",
+        "_events_run",
+        "_heartbeats",
+        "_hb_next",
+    )
+
+    def __init__(self, scheduler: str = "heap") -> None:
         self.now: float = 0.0
-        self._queue: list[tuple[float, int, Callable[..., None], tuple[Any, ...]]] = []
+        self.scheduler: str = scheduler
+        self._queue = make_queue(scheduler)
+        self._push = self._queue.push  # pre-bound: at() is hot
         self._seq: int = 0
         self._events_run: int = 0
         # Heartbeats: [next_fire_time, interval, fn] triples, fired at
@@ -42,8 +64,33 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule at {time} before current time {self.now}"
             )
-        heapq.heappush(self._queue, (time, self._seq, fn, args))
+        self._push((time, self._seq, fn, args))
         self._seq += 1
+
+    def reserve_seq(self) -> int:
+        """Claim the next tie-break sequence number without scheduling.
+
+        Lets a caller pre-allocate an event's slot in the ``(time, seq)``
+        total order and materialise it later — or never — via
+        :meth:`at_reserved`. The event then fires exactly where it would
+        have had it been pushed at reservation time, so deferring (or
+        eliding) a push cannot perturb same-time tie-breaks of any other
+        event. This is how the fabric skips completion-kick events on
+        idle links while staying bit-identical to the eager schedule.
+        """
+        seq = self._seq
+        self._seq += 1
+        return seq
+
+    def at_reserved(
+        self, time: float, seq: int, fn: Callable[..., None], *args: Any
+    ) -> None:
+        """Schedule ``fn(*args)`` at ``time`` under a reserved sequence number."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at {time} before current time {self.now}"
+            )
+        self._push((time, seq, fn, args))
 
     def add_heartbeat(
         self,
@@ -74,18 +121,40 @@ class Simulator:
             self._hb_next = first
 
     def _fire_heartbeats(self, limit: float) -> None:
-        """Fire every heartbeat due at or before ``limit``, in time order."""
+        """Fire every heartbeat due at or before ``limit``, in time order.
+
+        ``_hb_next`` (maintained incrementally) is the loop variable, so
+        each firing round does a single pass over the heartbeat list
+        instead of two ``min()`` scans per fired time.
+        """
         hb = self._heartbeats
-        while True:
-            t = min(e[0] for e in hb)
+        while len(hb) == 1:
+            # Overwhelmingly the common case (one obs recorder): no
+            # scans at all, just walk the single triple forward. Re-read
+            # the list each round in case the callback registers more.
+            e = hb[0]
+            t = e[0]
             if t > limit:
-                break
+                self._hb_next = t
+                return
+            self.now = t
+            e[2](t)
+            e[0] = t + e[1]
+        # General case: one pass per distinct due time, firing in
+        # registration order on ties and folding the next-due scan into
+        # the same pass (the old code did two min() scans per round).
+        t = self._hb_next
+        while t <= limit:
+            nxt = float("inf")
             for e in hb:
                 if e[0] == t:
                     self.now = t
                     e[2](t)
                     e[0] = t + e[1]
-        self._hb_next = min(e[0] for e in hb)
+                if e[0] < nxt:
+                    nxt = e[0]
+            t = nxt
+        self._hb_next = t
 
     def run(
         self,
@@ -100,29 +169,144 @@ class Simulator:
         against runaway simulations.
         """
         queue = self._queue
-        pop = heapq.heappop
-        heartbeats = self._heartbeats
-        while queue:
-            time, _, fn, args = queue[0]
-            if until is not None and time > until:
-                if heartbeats and self._hb_next <= until:
-                    self._fire_heartbeats(until)
-                self.now = until
-                break
-            if heartbeats and self._hb_next <= time:
-                self._fire_heartbeats(time)
-                continue  # a heartbeat may have scheduled new events
-            pop(queue)
-            self.now = time
-            fn(*args)
-            self._events_run += 1
-            if stop is not None and stop():
-                break
-            if max_events is not None and self._events_run >= max_events:
-                raise RuntimeError(
-                    f"simulation exceeded {max_events} events; "
-                    "likely runaway traffic generation"
+        if type(queue) is HeapQueue:
+            if until is None:
+                return self._run_heap_fast(
+                    queue.heap,
+                    stop,
+                    sys.maxsize if max_events is None else max_events,
                 )
+            return self._run_heap(queue.heap, until, stop, max_events)
+        return self._run_generic(queue, until, stop, max_events)
+
+    def _run_heap_fast(
+        self, queue: list, stop: Callable[[], bool] | None, max_events: int
+    ) -> float:
+        """Heap loop without the ``until`` horizon — the production shape
+        (drain-or-stop with a runaway guard).
+
+        ``max_events`` arrives as a plain int (``sys.maxsize`` when the
+        caller passed ``None``), so the guard is a single integer
+        comparison instead of the generic loop's per-event ``is not
+        None`` tests — measurable at hundreds of thousands of events per
+        run.
+        """
+        pop = heapq.heappop
+        push = heapq.heappush
+        heartbeats = self._heartbeats
+        events_run = self._events_run
+        try:
+            while queue:
+                ev = pop(queue)
+                time = ev[0]
+                if heartbeats and self._hb_next <= time:
+                    push(queue, ev)
+                    self._fire_heartbeats(time)
+                    continue  # a heartbeat may have scheduled new events
+                self.now = time
+                ev[2](*ev[3])
+                events_run += 1
+                if stop is not None and stop():
+                    break
+                if events_run >= max_events:
+                    raise RuntimeError(
+                        f"simulation exceeded {max_events} events; "
+                        "likely runaway traffic generation"
+                    )
+        finally:
+            self._events_run = events_run
+        return self.now
+
+    def _run_heap(
+        self,
+        queue: list,
+        until: float | None,
+        stop: Callable[[], bool] | None,
+        max_events: int | None,
+    ) -> float:
+        """Heap fast path: pop eagerly, push back on the rare deferral.
+
+        Deferral (a due heartbeat or the ``until`` horizon) pushes the
+        popped event back unchanged — its ``(time, seq)`` key is intact,
+        so it re-pops first among the still-queued events. This trades a
+        per-deferral push for never paying the peek-then-pop double
+        access on the hot path. ``events_run`` is kept in a local and
+        written back in ``finally`` so an exception mid-event leaves the
+        public count exact.
+        """
+        pop = heapq.heappop
+        push = heapq.heappush
+        heartbeats = self._heartbeats
+        events_run = self._events_run
+        try:
+            while queue:
+                ev = pop(queue)
+                time = ev[0]
+                if until is not None and time > until:
+                    push(queue, ev)
+                    if heartbeats and self._hb_next <= until:
+                        self._fire_heartbeats(until)
+                    self.now = until
+                    break
+                if heartbeats and self._hb_next <= time:
+                    push(queue, ev)
+                    self._fire_heartbeats(time)
+                    continue  # a heartbeat may have scheduled new events
+                self.now = time
+                ev[2](*ev[3])
+                events_run += 1
+                if stop is not None and stop():
+                    break
+                if max_events is not None and events_run >= max_events:
+                    raise RuntimeError(
+                        f"simulation exceeded {max_events} events; "
+                        "likely runaway traffic generation"
+                    )
+        finally:
+            self._events_run = events_run
+        return self.now
+
+    def _run_generic(
+        self,
+        queue,
+        until: float | None,
+        stop: Callable[[], bool] | None,
+        max_events: int | None,
+    ) -> float:
+        """Protocol path: pop eagerly, push back on deferral.
+
+        Pushing an event back is order-safe because its ``(time, seq)``
+        key is unchanged — it re-pops first among the still-queued.
+        """
+        pop, push = queue.pop, queue.push
+        heartbeats = self._heartbeats
+        events_run = self._events_run
+        try:
+            while queue:
+                ev = pop()
+                time = ev[0]
+                if until is not None and time > until:
+                    push(ev)
+                    if heartbeats and self._hb_next <= until:
+                        self._fire_heartbeats(until)
+                    self.now = until
+                    break
+                if heartbeats and self._hb_next <= time:
+                    push(ev)
+                    self._fire_heartbeats(time)
+                    continue  # a heartbeat may have scheduled new events
+                self.now = time
+                ev[2](*ev[3])
+                events_run += 1
+                if stop is not None and stop():
+                    break
+                if max_events is not None and events_run >= max_events:
+                    raise RuntimeError(
+                        f"simulation exceeded {max_events} events; "
+                        "likely runaway traffic generation"
+                    )
+        finally:
+            self._events_run = events_run
         return self.now
 
     @property

@@ -89,6 +89,12 @@ class RunSpec:
     part of the identity hash, so an observed cell never shares a cache
     entry with an unobserved one. ``tags`` is free-form labelling (e.g.
     ``("scale=0.5",)``) that is part of the identity hash.
+
+    ``scheduler`` picks the engine's event-queue implementation and is
+    deliberately **excluded** from the identity hash: results are
+    bit-identical under every scheduler (the cross-scheduler determinism
+    test enforces this), so cells cached under one scheduler are valid
+    hits for any other.
     """
 
     app: str
@@ -103,6 +109,7 @@ class RunSpec:
     max_events: int | None = DEFAULT_MAX_EVENTS
     tags: tuple[str, ...] = ()
     obs: Any = None
+    scheduler: str = "heap"
 
     @property
     def label(self) -> str:
@@ -137,6 +144,8 @@ class RunSpec:
                 "max_events": self.max_events,
                 "tags": list(self.tags),
                 "obs": obs,
+                # NB: `scheduler` is intentionally absent — it cannot
+                # change results, so it must not split the cache.
             },
             sort_keys=True,
         )
@@ -176,6 +185,7 @@ def plan_grid(
     record_sends: bool = False,
     max_events: int | None = DEFAULT_MAX_EVENTS,
     obs: Any = None,
+    scheduler: str = "heap",
 ) -> ExperimentPlan:
     """Enumerate the placement x routing grid (paper Sections IV-A/IV-C).
 
@@ -197,6 +207,7 @@ def plan_grid(
             record_sends=record_sends,
             max_events=max_events,
             obs=obs,
+            scheduler=scheduler,
         )
         for app in traces
         for placement in placements
@@ -214,6 +225,7 @@ def plan_sensitivity(
     compute_scale: float = 0.0,
     max_events: int | None = DEFAULT_MAX_EVENTS,
     obs: Any = None,
+    scheduler: str = "heap",
 ) -> ExperimentPlan:
     """Enumerate the message-size sweep (paper Section IV-B).
 
@@ -242,6 +254,7 @@ def plan_sensitivity(
                     max_events=max_events,
                     tags=(f"scale={scale:g}",),
                     obs=obs,
+                    scheduler=scheduler,
                 )
             )
     return ExperimentPlan(config=config, specs=tuple(specs), traces=traces)

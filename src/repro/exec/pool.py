@@ -80,6 +80,7 @@ def simulate_spec(
         record_sends=spec.record_sends,
         max_events=spec.max_events,
         obs=spec.obs,
+        scheduler=getattr(spec, "scheduler", "heap"),
     )
 
 

@@ -31,6 +31,7 @@ them keeps the per-rank distribution informative, as in Figure 3).
 from __future__ import annotations
 
 from collections import deque
+from functools import partial
 from typing import NamedTuple
 
 import numpy as np
@@ -147,6 +148,7 @@ class _JobState:
         "ranks",
         "barrier_waiting",
         "finished_ranks",
+        "done",
         "finish_time",
         "hop_sum",
         "pkt_count",
@@ -163,6 +165,10 @@ class _JobState:
         self.ranks: list[_RankState] = []
         self.barrier_waiting: list[_RankState] = []
         self.finished_ranks = 0
+        # Plain-attribute completion flag: the run loop's stop()
+        # polls this after *every* event, so it must stay a single
+        # attribute load (no property call, no len()).
+        self.done = False
         self.finish_time = -1.0
         n = trace.num_ranks
         self.hop_sum = np.zeros(n, dtype=np.float64)
@@ -171,7 +177,7 @@ class _JobState:
 
     @property
     def finished(self) -> bool:
-        return self.finished_ranks == len(self.ranks)
+        return self.done
 
 
 class RankResult(NamedTuple):
@@ -298,6 +304,7 @@ class ReplayEngine:
             js.send_events = []
         for rt in trace.ranks:
             js.ranks.append(_RankState(js, rt.rank, nodes[rt.rank], rt.ops))
+        js.done = not js.ranks  # a rank-less trace is trivially finished
         self._jobs[job_id] = js
 
     def add_injector(self, injector) -> None:
@@ -340,11 +347,14 @@ class ReplayEngine:
             raise ValueError(f"unknown job {target_job}")
 
         if target_job is not None:
+            # partial(getattr, ...) stays in C — the engine polls stop()
+            # after every event, so a Python lambda frame here is ~10% of
+            # the whole event dispatch cost.
             js = self._jobs[target_job]
-            stop = lambda: js.finished  # noqa: E731
+            stop = partial(getattr, js, "done")
         else:
             jobs = list(self._jobs.values())
-            stop = lambda: all(j.finished for j in jobs)  # noqa: E731
+            stop = lambda: all(j.done for j in jobs)  # noqa: E731
 
         end = self.sim.run(until=until, stop=stop, max_events=max_events)
         self.fabric.drain_saturation()
@@ -460,7 +470,8 @@ class ReplayEngine:
         rs.finish_time = self.sim.now
         js = rs.job
         js.finished_ranks += 1
-        if js.finished:
+        if js.finished_ranks == len(js.ranks):
+            js.done = True
             js.finish_time = self.sim.now
 
     # ------------------------------------------------------------------

@@ -23,17 +23,17 @@ the terminal-in link), so adaptive decisions observe live congestion.
 
 Hot-path notes: link state lives in plain Python lists (faster item
 access than NumPy for scalar work); per-(link, VC) buffer occupancy is a
-flat ``defaultdict`` keyed by ``link * MAX_VCS + vc``.
+flat list indexed by ``link * MAX_VCS + vc``.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict, deque
+from collections import deque
 from typing import Callable
 
 from repro.config import NetworkParams
 from repro.engine.simulator import Simulator
-from repro.network.packet import Message, Packet, packetize
+from repro.network.packet import _POOL, _POOL_MAX, Message, Packet, packetize
 from repro.routing.base import RoutingPolicy
 from repro.topology.dragonfly import Dragonfly
 
@@ -74,7 +74,18 @@ class Fabric:
         self._wait_count: list[int] = [0] * n_links
         self._rr_next: list[int] = [0] * n_links
         self._blocked_since: list[float] = [-1.0] * n_links
-        self._buf_used: defaultdict[int, int] = defaultdict(int)
+        # Flat (link, VC) buffer occupancy: list indexing beats dict
+        # hashing at several lookups per transmission.
+        self._buf_used: list[int] = [0] * (n_links * MAX_VCS)
+        # Elided completion-kick state: when a transmission starts with
+        # no waiters, its `_tx_done` push is skipped but its tie-break
+        # sequence number is *reserved* (`_kick_seq`, with the would-be
+        # fire time in `_kick_time`). A later `_enqueue` on the busy link
+        # materialises the kick in exactly that reserved (time, seq)
+        # slot, so the executed event order is bit-identical to the
+        # eager schedule. -1 means "no reservation outstanding".
+        self._kick_seq: list[int] = [-1] * n_links
+        self._kick_time: list[float] = [0.0] * n_links
 
         #: Per-link transmitted bytes (the paper's "network traffic").
         self.bytes_tx: list[int] = [0] * n_links
@@ -98,17 +109,13 @@ class Fabric:
         #: to a fabric without the hooks.
         self.obs = None
 
+        self._bind_hot_path()
+
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
-    def inject(self, msg: Message) -> None:
-        """Queue a message at its source NIC at the current sim time."""
-        msg.inject_time = self.sim.now
-        first_link = self.topo.terminal_in(msg.src_node)
-        for pkt in packetize(msg, self.net.packet_size, first_link):
-            self.bytes_injected += pkt.size
-            self.packets_injected += 1
-            self._enqueue(pkt, first_link)
+    # inject(msg) is built by _bind_hot_path (a closure, like the rest
+    # of the per-packet path).
 
     def drain_saturation(self) -> None:
         """Close out still-open blocked intervals at the current time.
@@ -135,151 +142,363 @@ class Fabric:
         return hop - 1
 
     def _enqueue(self, pkt: Packet, link: int) -> None:
-        vc = self._vc_of(pkt, pkt.hop)
+        hop = pkt.hop
+        vc = 0 if hop == 0 or hop == len(pkt.route) - 1 else hop - 1
         q = self._waitq[link].get(vc)
         if q is None:
             q = self._waitq[link][vc] = deque()
         q.append(pkt)
         self._wait_count[link] += 1
         self.queued_bytes[link] += pkt.size
+        if self.busy_until[link] > self.sim.now:
+            # Mid-transmission: arbitration can only happen at the
+            # serialiser's completion. If that completion kick was
+            # elided (no waiters at transmission start), materialise it
+            # now under its reserved sequence number — it lands exactly
+            # where the eager schedule would have put it.
+            seq = self._kick_seq[link]
+            if seq >= 0:
+                self._kick_seq[link] = -1
+                self.sim.at_reserved(
+                    self._kick_time[link], seq, self._try_transmit, link
+                )
+            return
         self._try_transmit(link)
 
-    def _try_transmit(self, link: int) -> None:
-        if self._wait_count[link] == 0:
-            return
-        now = self.sim.now
-        if self.busy_until[link] > now:
-            return
+    def _bind_hot_path(self) -> None:
+        """Compile the transmit/arrive hot path into closures.
 
-        waitq = self._waitq[link]
-        cap = self.buf[link]
+        ``_try_transmit`` and ``_arrive`` together execute a few hundred
+        thousand times per run and each read ~20 ``self`` attributes per
+        call. Binding the link-state containers into closure cells turns
+        every one of those dict lookups into a LOAD_DEREF, and pushing
+        the closures (instead of freshly bound methods) into event
+        tuples drops an allocation per scheduled event.
+
+        Safe because every captured object is only ever item-mutated,
+        never rebound (``sim``/``topo``/``net``/``routing`` are assigned
+        once in ``__init__``). The lone exception is ``obs``: anything
+        that rebinds ``fabric.obs`` (the recorder's install) must call
+        ``_bind_hot_path()`` again so the closures pick up the new
+        recorder. The closures are instance attributes shadowing
+        nothing: they *are* the only implementation.
+        """
+        obs = self.obs
+        fab = self
+        sim = self.sim
+        push = sim._push
+        max_vcs = MAX_VCS
+        wait_count = self._wait_count
+        busy_until = self.busy_until
+        waitqs = self._waitq
+        caps = self.buf
         buf_used = self._buf_used
-        base = link * MAX_VCS
+        blocked = self._blocked_since
+        sat_ns = self.sat_ns
+        rr_next = self._rr_next
+        queued_bytes = self.queued_bytes
+        bws = self.bw
+        lats = self.lat
+        cut_through = self._cut_through
+        kick_seq = self._kick_seq
+        kick_time = self._kick_time
+        bytes_tx = self.bytes_tx
+        busy_ns = self.busy_ns
+        tx_done_notify = self._tx_done_notify
+        notify_injected = self._notify_injected
+        node_router = self.topo._node_router
+        terminal_in = self.topo._terminal_in_l
+        packet_size = self.net.packet_size
+        route_fn = self.routing.route
+        num_vcs = self.net.num_vcs
+        pool = _POOL
+        pool_max = _POOL_MAX
+        make_deque = deque
+        # Immutable, so one args tuple per link serves every kick event
+        # ever pushed (saves an allocation per push).
+        link_args = [(lid,) for lid in range(len(caps))]
 
-        # Round-robin VC arbitration: first VC (>= the pointer, cyclic)
-        # whose head packet fits in its downstream buffer wins. Links
-        # with a single active VC (all terminal links, most others) take
-        # the allocation-free fast path.
-        chosen_vc = -1
-        pkt: Packet | None = None
-        if len(waitq) == 1:
-            vc, q = next(iter(waitq.items()))
-            if not q:
+        def inject(msg: Message) -> None:
+            """Queue a message at its source NIC at the current sim time."""
+            now = sim.now
+            msg.inject_time = now
+            link = terminal_in[msg.src_node]
+            packets = packetize(msg, packet_size, link)
+            fab.bytes_injected += msg.wire_size
+            fab.packets_injected += len(packets)
+            # Inlined _enqueue (keep in sync) with the hop-0 VC
+            # constant-folded to 0: injection is a straight-line burst
+            # of appends.
+            waitq = waitqs[link]
+            q = waitq.get(0)
+            if q is None:
+                q = waitq[0] = make_deque()
+            append = q.append
+            for pkt in packets:
+                append(pkt)
+                wait_count[link] += 1
+                queued_bytes[link] += pkt.size
+                if busy_until[link] > now:
+                    seq = kick_seq[link]
+                    if seq >= 0:
+                        kick_seq[link] = -1
+                        # kick_time is the busy end > now: at_reserved's
+                        # guard cannot fire, so push directly.
+                        push((kick_time[link], seq, try_transmit, link_args[link]))
+                    continue
+                try_transmit(link)
+
+        def try_transmit(link: int) -> None:
+            if wait_count[link] == 0:
                 return
-            head = q[0]
-            if buf_used[base + vc] + head.size <= cap:
-                chosen_vc = vc
-                pkt = head
-            elif self.obs is not None:
-                self.obs.on_buffer_full(now, link, vc, buf_used[base + vc], cap)
-        else:
-            start = self._rr_next[link]
-            ranked = [
-                ((vc - start) % MAX_VCS, vc, q) for vc, q in waitq.items() if q
-            ]
-            if not ranked:
+            now = sim.now
+            if busy_until[link] > now:
                 return
-            ranked.sort()
-            for _, vc, q in ranked:
+
+            waitq = waitqs[link]
+            cap = caps[link]
+            base = link * max_vcs
+
+            # Round-robin VC arbitration: first VC (>= the pointer,
+            # cyclic) whose head packet fits in its downstream buffer
+            # wins. Links with a single active VC (all terminal links,
+            # most others) take the allocation-free fast path.
+            chosen_vc = -1
+            pkt = None
+            if len(waitq) == 1:
+                # VC 0 probe first (terminal links and first router hops
+                # — the bulk); fall back to walking the sole entry.
+                q = waitq.get(0)
+                if q is None:
+                    for vc, q in waitq.items():  # sole entry
+                        break
+                else:
+                    vc = 0
+                if not q:
+                    return
                 head = q[0]
-                if buf_used[base + vc] + head.size <= cap:
+                used = buf_used[base + vc]
+                if used + head.size <= cap:
                     chosen_vc = vc
                     pkt = head
-                    break
-                if self.obs is not None:
-                    self.obs.on_buffer_full(now, link, vc, buf_used[base + vc], cap)
+                elif obs is not None:
+                    obs.on_buffer_full(now, link, vc, used, cap)
+            else:
+                # Allocation-free cyclic scan from the pointer: visits
+                # VCs in exactly the order the old sorted rank list did,
+                # so the winner and the obs on_buffer_full sequence are
+                # unchanged.
+                start = rr_next[link]
+                if start >= max_vcs:
+                    start = 0
+                get = waitq.get
+                remaining = len(waitq)
+                any_waiting = False
+                vc = start
+                for _ in range(max_vcs):
+                    q = get(vc)
+                    if q is not None:
+                        if q:
+                            any_waiting = True
+                            head = q[0]
+                            used = buf_used[base + vc]
+                            if used + head.size <= cap:
+                                chosen_vc = vc
+                                pkt = head
+                                break
+                            if obs is not None:
+                                obs.on_buffer_full(now, link, vc, used, cap)
+                        remaining -= 1
+                        if not remaining:
+                            break
+                    vc += 1
+                    if vc == max_vcs:
+                        vc = 0
+                if not any_waiting:
+                    return
 
-        if pkt is None:
-            # Stalled on credits alone: open a saturation interval.
-            if self._blocked_since[link] < 0.0:
-                self._blocked_since[link] = now
-                if self.obs is not None:
-                    self.obs.on_stall_onset(now, link)
-            return
+            if pkt is None:
+                # Stalled on credits alone: open a saturation interval.
+                if blocked[link] < 0.0:
+                    blocked[link] = now
+                    if obs is not None:
+                        obs.on_stall_onset(now, link)
+                return
 
-        if self._blocked_since[link] >= 0.0:
-            since = self._blocked_since[link]
-            self.sat_ns[link] += now - since
-            self._blocked_since[link] = -1.0
-            if self.obs is not None:
-                self.obs.on_stall_clear(now, link, now - since)
+            since = blocked[link]
+            if since >= 0.0:
+                sat_ns[link] += now - since
+                blocked[link] = -1.0
+                if obs is not None:
+                    obs.on_stall_clear(now, link, now - since)
 
-        waitq[chosen_vc].popleft()
-        self._wait_count[link] -= 1
-        self._rr_next[link] = chosen_vc + 1
-        self.queued_bytes[link] -= pkt.size
+            q.popleft()  # q is the chosen VC's deque on every path here
+            wait_count[link] -= 1
+            rr_next[link] = chosen_vc + 1
+            size = pkt.size
+            queued_bytes[link] -= size
 
-        hop = pkt.hop
-        if hop > 0:
-            # Credit return: release the input buffer and kick upstream.
-            prev = pkt.route[hop - 1]
-            pvc = self._vc_of(pkt, hop - 1)
-            buf_used[prev * MAX_VCS + pvc] -= pkt.size
-            self._try_transmit(prev)
-
-        buf_used[base + self._vc_of(pkt, hop)] += pkt.size
-        duration = pkt.size / self.bw[link]
-        end = now + duration
-        lat = self.lat[link]
-        if self._cut_through:
-            # Virtual cut-through: the transmission cannot *finish*
-            # before the packet's tail has streamed in from upstream,
-            # but its header moves on after just the hop latency.
-            if pkt.tail_time > end:
-                end = pkt.tail_time
             route = pkt.route
-            is_final = len(route) > 1 and hop == len(route) - 1
-            arrival = end + lat if is_final else now + lat
-        else:
-            arrival = end + lat
-        pkt.tail_time = end + lat
-        self.busy_until[link] = end
-        self.busy_ns[link] += end - now
-        self.bytes_tx[link] += pkt.size
-        self.sim.at(end, self._tx_done, link)
-        self.sim.at(arrival, self._arrive, pkt)
-        if hop == 0 and pkt.last:
-            self.sim.at(end, self._notify_injected, pkt.msg)
+            route_len = len(route)
+            hop = pkt.hop
+            if hop > 0:
+                # Credit return: release the input buffer and kick
+                # upstream. The kick is elided when it could only hit
+                # try_transmit's early-outs (idle upstream queue, or
+                # serialiser mid-burst).
+                prev = route[hop - 1]
+                pvc = 0 if hop == 1 or hop == route_len else hop - 2
+                buf_used[prev * max_vcs + pvc] -= size
+                if wait_count[prev] and busy_until[prev] <= now:
+                    try_transmit(prev)
 
-    def _tx_done(self, link: int) -> None:
+            buf_used[
+                base + (0 if hop == 0 or hop == route_len - 1 else hop - 1)
+            ] += size
+            duration = size / bws[link]
+            end = now + duration
+            lat = lats[link]
+            if cut_through:
+                # Virtual cut-through: the transmission cannot *finish*
+                # before the packet's tail has streamed in from
+                # upstream, but its header moves on after just the hop
+                # latency.
+                if pkt.tail_time > end:
+                    end = pkt.tail_time
+                arrival = (
+                    end + lat
+                    if (route_len > 1 and hop == route_len - 1)
+                    else now + lat
+                )
+            else:
+                arrival = end + lat
+            pkt.tail_time = end + lat
+            busy_until[link] = end
+            busy_ns[link] += end - now
+            bytes_tx[link] += size
+
+            # Event pushes bypass Simulator.at (one frame per event
+            # saved on the hottest schedule sites): `end` and `arrival`
+            # are >= now by construction, and the explicit seq
+            # arithmetic below assigns exactly the sequence numbers
+            # at()/reserve_seq() would have.
+            seq = sim._seq
+            last_inject = hop == 0 and pkt.last
+            if last_inject and arrival != end:
+                # Fold the injected-notification into the completion
+                # slot: one combined event replaces the kick + notify
+                # pair. Safe because the pair occupied adjacent
+                # (time, seq) slots at `end` with the arrival strictly
+                # elsewhere, so no event could ever run between them.
+                kick_seq[link] = -1
+                push((end, seq, tx_done_notify, (link, pkt.msg)))
+                push((arrival, seq + 1, arrive, (pkt,)))
+                sim._seq = seq + 2
+            elif wait_count[link] > 0:
+                kick_seq[link] = -1
+                push((end, seq, try_transmit, link_args[link]))
+                push((arrival, seq + 1, arrive, (pkt,)))
+                if last_inject:
+                    push((end, seq + 2, notify_injected, (pkt.msg,)))
+                    sim._seq = seq + 3
+                else:
+                    sim._seq = seq + 2
+            else:
+                # No waiters: elide the completion kick, reserving its
+                # seq so a later _enqueue can materialise it in exactly
+                # the eager schedule's slot (see _kick_seq in __init__).
+                kick_seq[link] = seq
+                kick_time[link] = end
+                push((arrival, seq + 1, arrive, (pkt,)))
+                if last_inject:
+                    push((end, seq + 2, notify_injected, (pkt.msg,)))
+                    sim._seq = seq + 3
+                else:
+                    sim._seq = seq + 2
+
+        def arrive(pkt: Packet) -> None:
+            hop = pkt.hop + 1
+            pkt.hop = hop
+            route = pkt.route
+            msg = pkt.msg
+
+            if hop == 1 and len(route) == 1:
+                # At the source router: let the routing policy fill in
+                # the rest.
+                src_router = node_router[msg.src_node]
+                rest = route_fn(fab, src_router, msg.dst_node, pkt.size)
+                rr_hops = len(rest) - 1
+                if rr_hops > num_vcs:
+                    raise RuntimeError(
+                        f"route needs {rr_hops} VCs but only "
+                        f"{num_vcs} configured"
+                    )
+                route.extend(rest)
+
+            route_len = len(route)
+            if hop == route_len:
+                # Crossed the terminal-out link: the node consumed the
+                # packet.
+                last = route[-1]
+                size = pkt.size
+                now = sim.now
+                buf_used[last * max_vcs] -= size
+                if wait_count[last] and busy_until[last] <= now:
+                    try_transmit(last)
+                fab.packets_delivered += 1
+                fab.bytes_delivered += size
+                msg.arrived_bytes += size
+                msg.hop_sum += route_len - 2
+                # The packet is dead: nothing queues, schedules, or
+                # holds it past this point, so it can go back to the
+                # free list before the delivery callback (which may
+                # inject new messages that immediately recycle it).
+                # Inlined release_packet (keep in sync).
+                if len(pool) < pool_max:
+                    pkt.msg = None  # don't pin the message alive
+                    pool.append(pkt)
+                if msg.arrived_bytes >= msg.wire_size:
+                    msg.delivered_time = now
+                    fab.messages_delivered += 1
+                    if msg.on_delivered is not None:
+                        msg.on_delivered(msg, now)
+                return
+
+            # Inlined _enqueue (keep in sync): one call frame per
+            # forwarded hop is measurable at packet-event rates.
+            link = route[hop]
+            vc = hop - 1 if hop < route_len - 1 else 0  # hop >= 1 here
+            waitq = waitqs[link]
+            q = waitq.get(vc)
+            if q is None:
+                q = waitq[vc] = make_deque()
+            q.append(pkt)
+            wait_count[link] += 1
+            queued_bytes[link] += pkt.size
+            if busy_until[link] > sim.now:
+                seq = kick_seq[link]
+                if seq >= 0:
+                    kick_seq[link] = -1
+                    # kick_time >= busy end > now: at_reserved's guard
+                    # cannot fire, so push directly.
+                    push((kick_time[link], seq, try_transmit, link_args[link]))
+                return
+            try_transmit(link)
+
+        self.inject: Callable[[Message], None] = inject
+        self._try_transmit: Callable[[int], None] = try_transmit
+        self._arrive: Callable[[Packet], None] = arrive
+
+    def _tx_done_notify(self, link: int, msg: Message) -> None:
+        """Completion kick + injected-notification folded into one event."""
         self._try_transmit(link)
+        now = self.sim.now
+        msg.injected_time = now
+        if msg.on_injected is not None:
+            msg.on_injected(msg, now)
 
     def _notify_injected(self, msg: Message) -> None:
         msg.injected_time = self.sim.now
         if msg.on_injected is not None:
             msg.on_injected(msg, self.sim.now)
 
-    def _arrive(self, pkt: Packet) -> None:
-        pkt.hop += 1
-        route = pkt.route
-        msg = pkt.msg
-
-        if pkt.hop == 1 and len(route) == 1:
-            # At the source router: let the routing policy fill in the rest.
-            src_router = self.topo.router_of(msg.src_node)
-            rest = self.routing.route(self, src_router, msg.dst_node, pkt.size)
-            rr_hops = len(rest) - 1
-            if rr_hops > self.net.num_vcs:
-                raise RuntimeError(
-                    f"route needs {rr_hops} VCs but only "
-                    f"{self.net.num_vcs} configured"
-                )
-            route.extend(rest)
-
-        if pkt.hop == len(route):
-            # Crossed the terminal-out link: the node consumed the packet.
-            last = route[-1]
-            self._buf_used[last * MAX_VCS] -= pkt.size
-            self._try_transmit(last)
-            self.packets_delivered += 1
-            self.bytes_delivered += pkt.size
-            msg.arrived_bytes += pkt.size
-            msg.hop_sum += len(route) - 2
-            if msg.arrived_bytes >= msg.wire_size:
-                msg.delivered_time = self.sim.now
-                self.messages_delivered += 1
-                if msg.on_delivered is not None:
-                    msg.on_delivered(msg, self.sim.now)
-            return
-
-        self._enqueue(pkt, route[pkt.hop])

@@ -10,7 +10,15 @@ from __future__ import annotations
 
 from typing import Callable
 
-__all__ = ["CONTROL_PACKET_BYTES", "Message", "Packet", "packetize"]
+__all__ = [
+    "CONTROL_PACKET_BYTES",
+    "Message",
+    "Packet",
+    "packetize",
+    "acquire_packet",
+    "release_packet",
+    "pool_size",
+]
 
 #: Wire size charged for a zero-payload (control) message.
 CONTROL_PACKET_BYTES = 64
@@ -30,6 +38,7 @@ class Message:
         "src_node",
         "dst_node",
         "size",
+        "wire_size",
         "tag",
         "src_rank",
         "dst_rank",
@@ -65,6 +74,10 @@ class Message:
         self.src_node = src_node
         self.dst_node = dst_node
         self.size = size
+        #: Bytes actually put on the wire (at least one control packet).
+        #: A plain slot, not a property: the fabric reads it once per
+        #: delivered packet, and ``size`` never changes after init.
+        self.wire_size = size if size > 0 else CONTROL_PACKET_BYTES
         self.tag = tag
         self.src_rank = src_rank
         self.dst_rank = dst_rank
@@ -82,11 +95,6 @@ class Message:
         self.protocol: str = "eager"
         #: Opaque protocol state attached by the replay engine.
         self.ref = None
-
-    @property
-    def wire_size(self) -> int:
-        """Bytes actually put on the wire (at least one control packet)."""
-        return self.size if self.size > 0 else CONTROL_PACKET_BYTES
 
     @property
     def avg_hops(self) -> float:
@@ -137,13 +145,80 @@ class Packet:
         )
 
 
+# ----------------------------------------------------------------------
+# Packet free-list pool.
+#
+# Packets are short-lived flyweights: acquired at injection, dead the
+# moment their bytes are credited at delivery. Recycling them through a
+# per-process free list keeps large-message sweeps from churning the
+# allocator. Invariants (see DESIGN.md S14):
+#   * release only at delivery — a released packet is referenced by
+#     nothing (not queued, not in flight, no scheduled event);
+#   * acquire resets *every* slot (including reusing the route list in
+#     place), so a recycled packet is indistinguishable from a fresh
+#     one and pool warmth can never affect results;
+#   * the pool is process-local, so worker processes never share state.
+# ----------------------------------------------------------------------
+
+_POOL: list[Packet] = []
+#: Residency cap: beyond this, released packets fall to the GC. Sized
+#: for the largest in-flight population seen in the paper's sweeps.
+_POOL_MAX = 8192
+
+
+def acquire_packet(msg: Message, size: int, first_link: int, last: bool) -> Packet:
+    """Take a packet from the free list (or allocate one) and reset it."""
+    if _POOL:
+        pkt = _POOL.pop()
+        pkt.msg = msg
+        pkt.size = size
+        route = pkt.route
+        route.clear()
+        route.append(first_link)
+        pkt.hop = 0
+        pkt.last = last
+        pkt.tail_time = 0.0
+        return pkt
+    return Packet(msg, size, first_link, last)
+
+
+def release_packet(pkt: Packet) -> None:
+    """Return a dead packet to the free list (drop it if the pool is full)."""
+    if len(_POOL) < _POOL_MAX:
+        pkt.msg = None  # don't pin the message (and its callbacks) alive
+        _POOL.append(pkt)
+
+
+def pool_size() -> int:
+    """Current free-list population (tests/diagnostics)."""
+    return len(_POOL)
+
+
 def packetize(msg: Message, packet_size: int, first_link: int) -> list[Packet]:
     """Split a message into packets of at most ``packet_size`` bytes."""
     total = msg.wire_size
-    packets: list[Packet] = []
     full, rem = divmod(total, packet_size)
-    sizes = [packet_size] * full + ([rem] if rem else [])
-    for i, size in enumerate(sizes):
-        packets.append(Packet(msg, size, first_link, last=i == len(sizes) - 1))
-    msg.num_packets = len(packets)
+    n = full + (1 if rem else 0)
+    msg.num_packets = n
+    # Inlined acquire_packet (keep in sync): one call frame per packet
+    # is measurable at injection rates.
+    pool = _POOL
+    packets: list[Packet] = []
+    append = packets.append
+    last_i = n - 1
+    for i in range(n):
+        size = rem if (rem and i == last_i) else packet_size
+        if pool:
+            pkt = pool.pop()
+            pkt.msg = msg
+            pkt.size = size
+            route = pkt.route
+            route.clear()
+            route.append(first_link)
+            pkt.hop = 0
+            pkt.last = i == last_i
+            pkt.tail_time = 0.0
+        else:
+            pkt = Packet(msg, size, first_link, i == last_i)
+        append(pkt)
     return packets

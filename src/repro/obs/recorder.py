@@ -118,35 +118,45 @@ class ObsRecorder:
         if self.fabric.obs is not None:
             raise RuntimeError("fabric already has an observer attached")
         self.fabric.obs = self
+        # The fabric's hot-path closures capture ``obs`` by value;
+        # rebinding it requires recompiling them.
+        self.fabric._bind_hot_path()
         self.sim.add_heartbeat(self.config.window_ns, self._sample)
         self._installed = True
         return self
 
-    def _corrected_cumulative(
-        self, t: float
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Cumulative (bytes, busy, stall) per link, exact as of ``t``."""
+    def _sample(self, t: float) -> None:
+        """Heartbeat callback: close the window ending at ``t``.
+
+        Runs once per window on the hot heartbeat path: corrected
+        cumulatives are computed inline (no tuple-returning helper call)
+        and the window deltas reuse those arrays in place — the previous
+        snapshot becomes the delta buffer, so each window allocates only
+        the three arrays it must retain.
+        """
         fab = self.fabric
         bytes_cum = np.asarray(fab.bytes_tx, dtype=np.int64)
         busy_cum = np.asarray(fab.busy_ns, dtype=np.float64)
-        tail = np.asarray(fab.busy_until, dtype=np.float64) - t
+        tail = np.asarray(fab.busy_until, dtype=np.float64)
+        tail -= t
         np.clip(tail, 0.0, None, out=tail)
-        busy_cum = busy_cum - tail
+        busy_cum -= tail
         stall_cum = np.asarray(fab.sat_ns, dtype=np.float64)
         blocked = np.asarray(fab._blocked_since, dtype=np.float64)
         open_mask = blocked >= 0.0
         if open_mask.any():
             stall_cum = stall_cum + np.where(open_mask, t - blocked, 0.0)
-        return bytes_cum, busy_cum, stall_cum
-
-    def _sample(self, t: float) -> None:
-        """Heartbeat callback: close the window ending at ``t``."""
-        fab = self.fabric
-        bytes_cum, busy_cum, stall_cum = self._corrected_cumulative(t)
+        # Turn the previous snapshots into this window's deltas in place.
+        prev_bytes, prev_busy, prev_stall = (
+            self._prev_bytes, self._prev_busy, self._prev_stall
+        )
+        np.subtract(bytes_cum, prev_bytes, out=prev_bytes)
+        np.subtract(busy_cum, prev_busy, out=prev_busy)
+        np.subtract(stall_cum, prev_stall, out=prev_stall)
         self._edges.append(t)
-        self._bytes_rows.append(bytes_cum - self._prev_bytes)
-        self._busy_rows.append(busy_cum - self._prev_busy)
-        self._stall_rows.append(stall_cum - self._prev_stall)
+        self._bytes_rows.append(prev_bytes)
+        self._busy_rows.append(prev_busy)
+        self._stall_rows.append(prev_stall)
         self._queue_rows.append(np.asarray(fab.queued_bytes, dtype=np.int64))
         self._inj_pkts.append(fab.packets_injected)
         self._del_pkts.append(fab.packets_delivered)

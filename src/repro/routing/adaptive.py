@@ -69,6 +69,14 @@ class AdaptiveRouting(RoutingPolicy):
         self.minimal_bias_ns = minimal_bias_ns
         self.nonminimal_weight = nonminimal_weight
         self.mode = mode
+        self._tables = None  # memoised RouteTables of the last-seen topo
+        # (path, size) -> unloaded traversal time. The cached value is
+        # the exact left-to-right accumulation candidate_cost computes,
+        # so adding the live queue term on top reproduces the uncached
+        # float bit-for-bit (same op order). Invalidated when the policy
+        # is pointed at a different fabric (bw/lat may differ).
+        self._unloaded: dict[tuple, float] = {}
+        self._cost_fab = None
         #: Decision counters, exposed for analysis/tests.
         self.minimal_taken = 0
         self.nonminimal_taken = 0
@@ -94,34 +102,87 @@ class AdaptiveRouting(RoutingPolicy):
         self, fabric: "Fabric", src_router: int, dst_node: int, size: int
     ) -> list[int]:
         topo = fabric.topo
-        dst_router = topo.router_of(dst_node)
+        # Direct table lookups (router_of/terminal_out sans the method
+        # call): route() runs once per packet.
+        dst_router = topo._node_router[dst_node]
         rng = self._rng
 
-        candidates = self._minimal.minimal_candidates(fabric, src_router, dst_router)
+        # Inline cache probe (route() runs once per packet); the method
+        # call only builds misses.
+        tables = self._tables
+        if tables is None or tables.topo is not topo:
+            tables = self._tables = route_tables(topo)
+        candidates = tables._minimal.get((src_router, dst_router))
+        if candidates is None:
+            candidates = tables.minimal(
+                src_router, dst_router, self._minimal.max_candidates
+            )
         if len(candidates) > self.minimal_candidates:
             candidates = rng.sample(candidates, self.minimal_candidates)
 
-        best_path: list[int] | None = None
+        # This runs once per packet on adaptive cells, so the UGAL-L
+        # cost is computed inline (keep in sync with candidate_cost) —
+        # the accumulation order must stay identical, since any change
+        # to the float result could flip a routing decision. The
+        # congestion-independent part of each cost is memoised per
+        # (path, size): the cached float is the very accumulation the
+        # loop would produce, so cache hits are bit-identical.
+        local_mode = self.mode == "local"
+        bw = fabric.bw
+        lat = fabric.lat
+        queued = fabric.queued_bytes
+        if fabric is not self._cost_fab:
+            self._cost_fab = fabric
+            self._unloaded.clear()
+        unloaded = self._unloaded
+
+        # Candidate paths are never mutated and the return below builds a
+        # fresh list, so tracking winners by reference (no per-candidate
+        # list() copy) is safe.
+        best_path: list[int] | tuple[int, ...] | None = None
         best_cost = float("inf")
         best_is_min = True
         for path in candidates:
-            cost = self.candidate_cost(fabric, path, size)
+            if local_mode and path:
+                key = (path, size)
+                cost = unloaded.get(key)
+                if cost is None:
+                    cost = 0.0
+                    for lid in path:
+                        cost += size / bw[lid] + lat[lid]
+                    unloaded[key] = cost
+                first = path[0]
+                cost += queued[first] / bw[first] * len(path)
+            elif local_mode:
+                cost = 0.0
+            else:
+                cost = self.candidate_cost(fabric, path, size)
             if cost < best_cost:
-                best_cost, best_path, best_is_min = cost, list(path), True
+                best_cost, best_path, best_is_min = cost, path, True
 
         if src_router != dst_router:
             # Cray-style minimal preference: the non-minimal estimate is
             # inflated (weight) and offset (bias), so detours are taken
             # only when minimal looks substantially congested.
-            tables = route_tables(topo)
+            weight = self.nonminimal_weight
+            bias = self.minimal_bias_ns
             for _ in range(self.nonminimal_candidates):
                 path = valiant_route(tables, src_router, dst_router, rng)
-                cost = (
-                    self.candidate_cost(fabric, path, size) * self.nonminimal_weight
-                    + self.minimal_bias_ns
-                )
+                if local_mode:  # Valiant detours are never empty
+                    key = (path, size)
+                    cost = unloaded.get(key)
+                    if cost is None:
+                        cost = 0.0
+                        for lid in path:
+                            cost += size / bw[lid] + lat[lid]
+                        unloaded[key] = cost
+                    first = path[0]
+                    cost += queued[first] / bw[first] * len(path)
+                else:
+                    cost = self.candidate_cost(fabric, path, size)
+                cost = cost * weight + bias
                 if cost < best_cost:
-                    best_cost, best_path, best_is_min = cost, list(path), False
+                    best_cost, best_path, best_is_min = cost, path, False
 
         assert best_path is not None
         if best_is_min:
@@ -132,4 +193,6 @@ class AdaptiveRouting(RoutingPolicy):
                 fabric.obs.on_adaptive_divert(
                     fabric.sim.now, src_router, len(best_path)
                 )
-        return best_path + [topo.terminal_out(dst_node)]
+        # best_path may be a cached tuple (minimal) or a fresh list
+        # (Valiant); either way the caller gets its own list.
+        return [*best_path, topo._terminal_out_l[dst_node]]

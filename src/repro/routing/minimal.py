@@ -35,19 +35,32 @@ class MinimalRouting(RoutingPolicy):
     def __init__(self, seed: int = 0, max_candidates: int = 8) -> None:
         self._rng = random.Random(spawn_seed(seed, "routing", "minimal"))
         self.max_candidates = max_candidates
+        self._tables = None  # memoised RouteTables of the last-seen topo
 
     def minimal_candidates(
         self, fabric: "Fabric", src_router: int, dst_router: int
     ) -> tuple[tuple[int, ...], ...]:
         """Cached enumeration of minimal routes for a router pair."""
-        return route_tables(fabric.topo).minimal(
-            src_router, dst_router, self.max_candidates
-        )
+        tables = self._tables
+        if tables is None or tables.topo is not fabric.topo:
+            tables = self._tables = route_tables(fabric.topo)
+        return tables.minimal(src_router, dst_router, self.max_candidates)
 
     def route(
         self, fabric: "Fabric", src_router: int, dst_node: int, size: int
     ) -> list[int]:
-        dst_router = fabric.topo.router_of(dst_node)
-        routes = self.minimal_candidates(fabric, src_router, dst_router)
-        pick = routes[0] if len(routes) == 1 else self._rng.choice(routes)
-        return list(pick) + [fabric.topo.terminal_out(dst_node)]
+        topo = fabric.topo
+        # Direct table lookups and inline cache probes (route() runs
+        # once per packet); the method calls only build misses.
+        dst_router = topo._node_router[dst_node]
+        tables = self._tables
+        if tables is None or tables.topo is not topo:
+            tables = self._tables = route_tables(topo)
+        routes = tables._minimal.get((src_router, dst_router))
+        if routes is None:
+            routes = tables.minimal(src_router, dst_router, self.max_candidates)
+        n = len(routes)
+        # choice(seq) is exactly seq[_randbelow(len(seq))] — same bit
+        # stream, minus the wrapper frame.
+        pick = routes[0] if n == 1 else routes[self._rng._randbelow(n)]
+        return [*pick, topo._terminal_out_l[dst_node]]

@@ -136,30 +136,50 @@ def valiant_route(
     ``tables`` is the topology's :class:`~repro.routing.tables.RouteTables`;
     assembling a detour is three cached lookups plus tuple concatenation.
     """
+    # Runs twice per adaptively routed packet, so the cached-table hit
+    # paths are probed inline (the method calls only build misses) and
+    # the rng wrapper frames are bypassed: for a non-empty sequence,
+    # ``choice(seq)`` is exactly ``seq[_randbelow(len(seq))]`` and
+    # ``randrange(n)`` is exactly ``_randbelow(n)``, so the underlying
+    # bit stream — and with it every sampled route — is unchanged.
     topo = tables.topo
-    g1 = topo.group_of_router(src_router)
-    g2 = topo.group_of_router(dst_router)
+    groups = topo._router_group
+    g1 = groups[src_router]
+    g2 = groups[dst_router]
     p = topo.params
+    randbelow = rng._randbelow
     if g1 != g2 and p.groups > 2:
         lo, hi = (g1, g2) if g1 < g2 else (g2, g1)
-        gi = rng.randrange(p.groups - 2)
+        gi = randbelow(p.groups - 2)
         if gi >= lo:
             gi += 1
         if gi >= hi:
             gi += 1
-        head, entry1 = rng.choice(tables.to_group(src_router, gi))
-        mid, entry2 = rng.choice(tables.to_group(entry1, g2))
-        tails = tables.intra(entry2, dst_router)
-        tail = tails[0] if len(tails) == 1 else rng.choice(tails)
+        to_group = tables._to_group
+        opts = to_group.get((src_router, gi))
+        if opts is None:
+            opts = tables.to_group(src_router, gi)
+        head, entry1 = opts[randbelow(len(opts))]
+        opts = to_group.get((entry1, g2))
+        if opts is None:
+            opts = tables.to_group(entry1, g2)
+        mid, entry2 = opts[randbelow(len(opts))]
+        tails = tables._intra.get((entry2, dst_router))
+        if tails is None:
+            tails = tables.intra(entry2, dst_router)
+        tail = tails[0] if len(tails) == 1 else tails[randbelow(len(tails))]
         return head + mid + tail
     # Intra-group Valiant: random distinct intermediate router in the
     # source group (falls back to minimal when the group is too small).
     per_group = p.routers_per_group
     base = g1 * per_group
-    mid_router = base + rng.randrange(per_group)
+    mid_router = base + randbelow(per_group)
     if mid_router in (src_router, dst_router):
-        return rng.choice(tables.minimal(src_router, dst_router))
-    heads = tables.intra(src_router, mid_router)
-    head = heads[0] if len(heads) == 1 else rng.choice(heads)
-    tail = rng.choice(tables.minimal(mid_router, dst_router))
-    return head + tail
+        routes = tables.minimal(src_router, dst_router)
+        return routes[randbelow(len(routes))]
+    heads = tables._intra.get((src_router, mid_router))
+    if heads is None:
+        heads = tables.intra(src_router, mid_router)
+    head = heads[0] if len(heads) == 1 else heads[randbelow(len(heads))]
+    tails = tables.minimal(mid_router, dst_router)
+    return head + tails[randbelow(len(tails))]

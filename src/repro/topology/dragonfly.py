@@ -61,6 +61,18 @@ class Dragonfly:
         self._build_global_links()
         self.links.freeze()
 
+        # Hot-path lookup tables: routing runs once per packet, so the
+        # per-call NumPy scalar indexing / coordinate arithmetic of the
+        # query methods below is replaced by plain-list indexing.
+        self._terminal_in_l: list[int] = self._terminal_in.tolist()
+        self._terminal_out_l: list[int] = self._terminal_out.tolist()
+        self._node_router: list[int] = [
+            node_router(params, n) for n in range(n_nodes)
+        ]
+        self._router_group: list[int] = [
+            router_group(params, r) for r in range(params.num_routers)
+        ]
+
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
@@ -145,11 +157,11 @@ class Dragonfly:
 
     def terminal_in(self, node: int) -> int:
         """Injection link (node -> router) of ``node``."""
-        return int(self._terminal_in[node])
+        return self._terminal_in_l[node]
 
     def terminal_out(self, node: int) -> int:
         """Ejection link (router -> node) of ``node``."""
-        return int(self._terminal_out[node])
+        return self._terminal_out_l[node]
 
     def local_link(self, r1: int, r2: int) -> int | None:
         """Directed local link r1 -> r2, or None if not row/col adjacent."""
@@ -177,10 +189,10 @@ class Dragonfly:
                 yield router_id(p, group, r, col)
 
     def router_of(self, node: int) -> int:
-        return node_router(self.params, node)
+        return self._node_router[node]
 
     def group_of_router(self, router: int) -> int:
-        return router_group(self.params, router)
+        return self._router_group[router]
 
     def group_of_node(self, node: int) -> int:
         return node_group(self.params, node)

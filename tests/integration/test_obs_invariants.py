@@ -71,7 +71,7 @@ class CreditProbe:
     def __call__(self, t: float, fabric) -> None:
         self.samples += 1
         buf = fabric.buf
-        for key, used in fabric._buf_used.items():
+        for key, used in enumerate(fabric._buf_used):
             link = key // MAX_VCS
             assert used >= 0, (
                 f"negative credit at t={t}: link {link} vc {key % MAX_VCS}"

@@ -188,7 +188,7 @@ class TestBackpressure:
         for i in range(20):
             fabric.inject(Message(i, i % p.num_nodes, (i + 5) % p.num_nodes, 4000))
         sim.run()
-        assert all(v == 0 for v in fabric._buf_used.values())
+        assert all(v == 0 for v in fabric._buf_used)
 
     def test_drain_saturation_closes_open_intervals(self):
         sim, topo, fabric = make_fabric()

@@ -3,7 +3,15 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.network.packet import CONTROL_PACKET_BYTES, Message, packetize
+from repro.network.packet import (
+    CONTROL_PACKET_BYTES,
+    Message,
+    Packet,
+    acquire_packet,
+    packetize,
+    pool_size,
+    release_packet,
+)
 
 
 def make_msg(size, src=0, dst=1):
@@ -68,3 +76,66 @@ class TestPacketize:
         pkts = packetize(msg, packet_size, first_link=0)
         assert sum(p.size for p in pkts) == msg.wire_size
         assert all(0 < p.size <= packet_size for p in pkts)
+
+
+class TestPacketPool:
+    """Free-list recycling: warmth must never be observable."""
+
+    def test_packet_is_slotted(self):
+        (pkt,) = packetize(make_msg(100), 2048, first_link=0)
+        assert not hasattr(pkt, "__dict__")
+        with pytest.raises(AttributeError):
+            pkt.surprise = 1
+
+    def test_release_recycles_instance(self):
+        (pkt,) = packetize(make_msg(100), 2048, first_link=0)
+        before = pool_size()
+        release_packet(pkt)
+        assert pool_size() == before + 1
+        assert pkt.msg is None  # the message is not pinned alive
+        (again,) = packetize(make_msg(100), 2048, first_link=0)
+        assert again is pkt  # LIFO free list hands the same object back
+        release_packet(again)
+
+    def test_acquire_resets_every_slot(self):
+        msg_a = make_msg(300)
+        (pkt,) = packetize(msg_a, 2048, first_link=3)
+        pkt.hop = 5
+        pkt.tail_time = 123.4
+        pkt.route.extend([9, 10, 11])
+        release_packet(pkt)
+
+        msg_b = make_msg(4096)
+        pkts = packetize(msg_b, 2048, first_link=8)
+        recycled = pkts[0]
+        assert recycled is pkt
+        assert recycled.msg is msg_b
+        assert recycled.size == 2048
+        assert recycled.route == [8]
+        assert recycled.hop == 0
+        assert recycled.last is False
+        assert recycled.tail_time == 0.0
+        for p in pkts:
+            release_packet(p)
+
+    def test_acquire_matches_fresh_packet(self):
+        """A recycled packet is indistinguishable from a fresh one."""
+        (used,) = packetize(make_msg(64), 2048, first_link=2)
+        release_packet(used)
+        msg = make_msg(64)
+        (recycled,) = packetize(msg, 2048, first_link=2)
+        fresh = Packet(msg, 64, 2, True)
+        for slot in Packet.__slots__:
+            assert getattr(recycled, slot) == getattr(fresh, slot), slot
+        release_packet(recycled)
+
+    def test_pool_bounded(self):
+        from repro.network import packet as packet_mod
+
+        headroom = packet_mod._POOL_MAX - pool_size()
+        pkts = [
+            acquire_packet(make_msg(1), 1, 0, True) for _ in range(headroom + 5)
+        ]
+        for p in pkts:
+            release_packet(p)
+        assert pool_size() == packet_mod._POOL_MAX  # overflow fell to the GC

@@ -69,7 +69,7 @@ def test_random_workloads_complete_and_conserve(edge_list, routing):
     assert result.bytes_recv.sum() == trace.total_bytes()
     assert (result.finish_time_ns >= 0).all()
     # No buffer leaks.
-    assert all(v == 0 for v in fabric._buf_used.values())
+    assert all(v == 0 for v in fabric._buf_used)
     assert all(q == 0 for q in fabric.queued_bytes)
 
 

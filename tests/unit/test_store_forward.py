@@ -38,7 +38,7 @@ class TestStoreForward:
         engine.add_job(0, trace, list(range(12)))
         engine.run(target_job=0)
         assert fabric.bytes_injected == fabric.bytes_delivered
-        assert all(v == 0 for v in fabric._buf_used.values())
+        assert all(v == 0 for v in fabric._buf_used)
 
     def test_qualitative_ordering_preserved(self):
         """The hops ordering (cont < rand) holds in either mode."""
