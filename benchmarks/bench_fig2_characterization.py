@@ -10,8 +10,6 @@ surges).
 import sys
 from pathlib import Path
 
-import numpy as np
-
 sys.path.insert(0, str(Path(__file__).parent))
 from _common import bench_config, bench_seed, bench_trace, save_report
 
@@ -69,7 +67,6 @@ def test_fig2_characterization(benchmark):
 
     # Shape assertions from the paper's characterisation.
     cr_mat = results["CR"][1]
-    fb_mat = results["FB"][1]
     amg_mat = results["AMG"][1]
     # AMG is regional: far fewer partner pairs than CR's many-to-many.
     assert (amg_mat > 0).sum() < (cr_mat > 0).sum()

@@ -71,7 +71,6 @@ def test_fig9_cr_background(benchmark):
     # "No obvious performance variation ... under uniform random traffic"
     # for the localized configs; bursty hurts much more than uniform.
     u_cm = uniform.get("CR", "cont-min").metrics.median_comm_time_ns
-    b_cm = bursty.get("CR", "cont-min").metrics.median_comm_time_ns
     assert u_cm / alone["cont-min"] < 2.0
     # Bursty background: localized cont-min/cab-min degrade least.
     med = {

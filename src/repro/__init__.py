@@ -55,10 +55,19 @@ from repro.core import (
     TradeoffStudy,
     interference_study,
     recommend,
+    resilience_study,
     run_cluster,
     run_single,
     sensitivity_sweep,
     variability_study,
+)
+from repro.faults import (
+    FaultPlan,
+    LinkFault,
+    RouterFault,
+    load_fault_plan,
+    random_fault_plan,
+    save_fault_plan,
 )
 from repro.exec import (
     ExperimentPlan,
@@ -117,7 +126,14 @@ __all__ = [
     "run_cluster",
     "Recommendation",
     "recommend",
+    "resilience_study",
     "variability_study",
+    "FaultPlan",
+    "LinkFault",
+    "RouterFault",
+    "load_fault_plan",
+    "random_fault_plan",
+    "save_fault_plan",
     "ExperimentPlan",
     "ResultCache",
     "RunSpec",

@@ -5,9 +5,15 @@ Commands mirror the paper's three analysis steps plus utilities:
 * ``study``        — Section IV-A grid for one app (Figures 3-6 data)
 * ``sensitivity``  — Section IV-B message-size sweep (Figure 7 data)
 * ``interference`` — Section IV-C background-traffic study (Figures 8-10)
+* ``resilience``   — failure-rate sweep over the grid (repro.faults)
 * ``replay``       — replay a repro-dumpi trace file
 * ``characterize`` — print an app's communication matrix summary (Fig 2)
 * ``nomenclature`` — print Table I
+
+Fault injection (DESIGN.md §S15) is available on every simulating
+command: ``--faults plan.json`` loads an explicit
+:class:`~repro.faults.FaultPlan`, or ``--fault-rate R`` draws a seeded
+one (``--fault-seed``) for the chosen preset's topology.
 """
 
 from __future__ import annotations
@@ -115,6 +121,27 @@ def _add_common(p: argparse.ArgumentParser) -> None:
         "knob — results are bit-identical under every choice "
         "(default: heap)",
     )
+    p.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN.json",
+        help="inject the fault plan loaded from this JSON file "
+        "(see repro.faults.save_fault_plan)",
+    )
+    p.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        metavar="R",
+        help="draw a seeded fault plan failing each local/global "
+        "channel with probability R (ignored when --faults is given)",
+    )
+    p.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the drawn fault plan (default: 0)",
+    )
 
 
 def _exec_opts(args) -> dict:
@@ -131,6 +158,24 @@ def _obs_config(args) -> ObsConfig | None:
     if not (args.obs or args.obs_out):
         return None
     return ObsConfig(window_ns=args.obs_window_ns)
+
+
+def _fault_plan(args, config):
+    """The fault plan implied by --faults / --fault-rate, or None."""
+    if getattr(args, "faults", None):
+        from repro.faults import load_fault_plan
+
+        return load_fault_plan(args.faults)
+    if getattr(args, "fault_rate", 0.0) > 0.0:
+        from repro.core.runner import build_topology
+        from repro.faults import random_fault_plan
+
+        return random_fault_plan(
+            build_topology(config.topology),
+            args.fault_rate,
+            seed=args.fault_seed,
+        )
+    return None
 
 
 def _export_study_obs(result, args) -> None:
@@ -182,6 +227,32 @@ def main(argv: list[str] | None = None) -> int:
     p_intf.add_argument("--bg-fanout", type=int, default=None)
     _add_common(p_intf)
 
+    p_res = sub.add_parser(
+        "resilience", help="failure-rate sweep over the grid"
+    )
+    p_res.add_argument("app", choices=sorted(APP_BUILDERS))
+    p_res.add_argument(
+        "--rates",
+        default="0.02,0.05,0.1",
+        metavar="R1,R2,...",
+        help="comma-separated per-channel failure rates to sweep "
+        "(a healthy rate-0 baseline is always included)",
+    )
+    p_res.add_argument(
+        "--router-rate",
+        type=float,
+        default=0.0,
+        metavar="R",
+        help="per-router whole-router failure probability (default: 0)",
+    )
+    p_res.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH.json",
+        help="write the full per-cell degradation summary as JSON",
+    )
+    _add_common(p_res)
+
     p_replay = sub.add_parser("replay", help="replay a repro-dumpi trace file")
     p_replay.add_argument("trace_file")
     p_replay.add_argument("--placement", default="cont")
@@ -220,7 +291,7 @@ def main(argv: list[str] | None = None) -> int:
         trace = _build_trace(args)
         result = TradeoffStudy(
             config, {args.app: trace}, seed=args.seed, obs=_obs_config(args),
-            scheduler=args.scheduler,
+            scheduler=args.scheduler, faults=_fault_plan(args, config),
         ).run(verbose=True, **_exec_opts(args))
         _export_study_obs(result, args)
         print()
@@ -247,7 +318,8 @@ def main(argv: list[str] | None = None) -> int:
         scales = PAPER_SCALES[args.app]
         sens = sensitivity_sweep(
             config, trace, scales, seed=args.seed, obs=_obs_config(args),
-            scheduler=args.scheduler, **_exec_opts(args),
+            scheduler=args.scheduler, faults=_fault_plan(args, config),
+            **_exec_opts(args),
         )
         rel = sens.relative()
         print(
@@ -269,7 +341,8 @@ def main(argv: list[str] | None = None) -> int:
         )
         result = interference_study(
             config, trace, spec, seed=args.seed, obs=_obs_config(args),
-            scheduler=args.scheduler, **_exec_opts(args),
+            scheduler=args.scheduler, faults=_fault_plan(args, config),
+            **_exec_opts(args),
         )
         _export_study_obs(result, args)
         print(
@@ -281,11 +354,49 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 0
 
+    if args.command == "resilience":
+        from repro.core.resilience import resilience_study
+
+        trace = _build_trace(args)
+        try:
+            rates = [float(r) for r in args.rates.split(",") if r.strip()]
+        except ValueError:
+            parser.error(f"--rates must be comma-separated floats: {args.rates!r}")
+        res = resilience_study(
+            config,
+            {args.app: trace},
+            rates,
+            seed=args.seed,
+            fault_seed=args.fault_seed,
+            router_rate=args.router_rate,
+            obs=_obs_config(args),
+            scheduler=args.scheduler,
+            **_exec_opts(args),
+        )
+        print(f"{args.app} communication-time degradation vs healthy (%)")
+        labels = res.labels()
+        header = f"{'rate':>6} " + " ".join(f"{lb:>10}" for lb in labels)
+        print(header)
+        for rate in res.rates[1:]:
+            row = [f"{rate:>6g}"]
+            for lb in labels:
+                row.append(f"{res.degradation_pct(args.app, lb, rate):>10.2f}")
+            print(" ".join(row))
+        for rate in res.rates[1:]:
+            policy = res.policy_degradation(args.app, rate)
+            summary = ", ".join(f"{k}: {v:+.2f}%" for k, v in policy.items())
+            print(f"rate {rate:g} placement-averaged degradation — {summary}")
+        if args.out is not None:
+            res.save_json(args.out)
+            print(f"wrote {args.out}", file=sys.stderr)
+        return 0
+
     if args.command == "replay":
         trace = load_trace(args.trace_file)
         result = run_single(
             config, trace, args.placement, args.routing, seed=args.seed,
             obs=_obs_config(args), scheduler=args.scheduler,
+            faults=_fault_plan(args, config),
         )
         s = result.metrics.summary()
         for k, v in s.items():

@@ -33,6 +33,7 @@ from repro.core.advisor import (
     recommend,
 )
 from repro.core.cluster import ClusterResult, JobSpec, run_cluster
+from repro.core.resilience import ResilienceResult, resilience_study
 from repro.core.variability import VariabilityResult, variability_study
 
 __all__ = [
@@ -57,6 +58,8 @@ __all__ = [
     "ClusterResult",
     "JobSpec",
     "run_cluster",
+    "ResilienceResult",
+    "resilience_study",
     "VariabilityResult",
     "variability_study",
 ]

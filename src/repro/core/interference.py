@@ -88,6 +88,7 @@ def interference_study(
     progress=None,
     obs=None,
     scheduler: str = "heap",
+    faults=None,
 ) -> StudyResult:
     """Run the placement x routing grid with background traffic.
 
@@ -105,6 +106,7 @@ def interference_study(
         background=background,
         obs=obs,
         scheduler=scheduler,
+        faults=faults,
     )
     return study.run(
         max_workers=max_workers, cache_dir=cache_dir, progress=progress

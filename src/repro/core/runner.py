@@ -72,6 +72,7 @@ def run_single(
     max_events: int | None = 50_000_000,
     obs: ObsConfig | None = None,
     scheduler: str = "heap",
+    faults=None,
 ) -> RunResult:
     """Simulate one application under one placement/routing combination.
 
@@ -89,15 +90,34 @@ def run_single(
     ``scheduler`` selects the engine's event-queue implementation
     (``"heap"`` or ``"calendar"``); a pure performance knob — results
     are bit-identical under either (see DESIGN.md S14).
+
+    ``faults`` is an optional :class:`~repro.faults.FaultPlan` (DESIGN.md
+    §S15): nodes on failed routers are fenced before placement, the
+    fault-aware variants of the routing policies are substituted, and
+    the plan's link faults are installed at their onset times. ``None``
+    and an empty plan take the exact healthy code path, so fault-free
+    results stay bit-identical to a build without fault support.
     """
     if seed is None:
         seed = config.seed
     topo = build_topology(config.topology)
     machine = Machine(config.topology)
+    fault_plan = None
+    if faults is not None and not faults.is_empty():
+        fault_plan = faults
+        fault_plan.validate(topo)
+        dead_nodes = fault_plan.dead_nodes(topo)
+        if dead_nodes:
+            machine.mark_down(dead_nodes)
     nodes = machine.allocate(placement, trace.num_ranks, seed=seed)
 
     sim = Simulator(scheduler=scheduler)
-    routing_policy = make_routing(routing, seed=seed)
+    if fault_plan is not None:
+        from repro.faults.routing import make_fault_aware_routing
+
+        routing_policy = make_fault_aware_routing(routing, seed=seed)
+    else:
+        routing_policy = make_routing(routing, seed=seed)
     fabric = Fabric(sim, topo, config.network, routing_policy)
     engine = ReplayEngine(
         sim, fabric, compute_scale=compute_scale, record_sends=record_sends
@@ -114,6 +134,14 @@ def run_single(
     if obs is not None:
         recorder = ObsRecorder(sim, fabric, obs).install()
 
+    if fault_plan is not None:
+        # After the recorder install so t=0 fault onsets land in the
+        # congestion trace; scheduled onsets are ordinary (time, seq)
+        # events, totally ordered against packet traffic.
+        from repro.faults.plan import install_plan
+
+        install_plan(sim, fabric, fault_plan)
+
     engine.run(target_job=TARGET_JOB, max_events=max_events)
 
     job = engine.job_result(TARGET_JOB)
@@ -125,6 +153,15 @@ def run_single(
         decided = routing_policy.minimal_taken + routing_policy.nonminimal_taken
         if decided:
             nonmin_frac = routing_policy.nonminimal_taken / decided
+
+    extra: dict = {}
+    if fault_plan is not None:
+        extra["faults"] = {
+            "digest": fault_plan.digest,
+            "links_failed": fabric.faults_applied,
+            "packets_rerouted": fabric.packets_rerouted,
+            "nodes_fenced": len(fault_plan.dead_nodes(topo)),
+        }
 
     return RunResult(
         app=trace.name,
@@ -138,5 +175,6 @@ def run_single(
         events=sim.events_run,
         nonminimal_fraction=nonmin_frac,
         background_messages=injector.messages_sent if injector else 0,
+        extra=extra,
         obs=timeseries,
     )

@@ -88,6 +88,7 @@ def sensitivity_sweep(
     progress=None,
     obs=None,
     scheduler: str = "heap",
+    faults=None,
 ) -> SensitivityResult:
     """Run the message-size sweep for one application.
 
@@ -104,7 +105,7 @@ def sensitivity_sweep(
 
     plan = plan_sensitivity(
         config, trace, scales, configs, seed=seed, compute_scale=compute_scale,
-        obs=obs, scheduler=scheduler,
+        obs=obs, scheduler=scheduler, faults=faults,
     )
     report = execute_plan(
         plan,

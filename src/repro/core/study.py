@@ -38,6 +38,7 @@ class TradeoffStudy:
         record_sends: bool = False,
         obs=None,
         scheduler: str = "heap",
+        faults=None,
     ) -> None:
         if not isinstance(traces, Mapping):
             traces = {t.name: t for t in traces}
@@ -53,6 +54,7 @@ class TradeoffStudy:
         self.record_sends = record_sends
         self.obs = obs
         self.scheduler = scheduler
+        self.faults = faults
 
     def plan(self):
         """The study as a flat :class:`~repro.exec.plan.ExperimentPlan`."""
@@ -67,6 +69,7 @@ class TradeoffStudy:
             record_sends=self.record_sends,
             obs=self.obs,
             scheduler=self.scheduler,
+            faults=self.faults,
         )
 
     def run(

@@ -45,8 +45,10 @@ __all__ = [
 #: for new code.
 #:
 #: History: v1 = original executor; v2 = repro.obs schema (RunResult
-#: grew ``obs``/``TimeSeriesMetrics``, specs grew an ``obs`` field).
-CODE_SALT = "repro-exec/v2"
+#: grew ``obs``/``TimeSeriesMetrics``, specs grew an ``obs`` field);
+#: v3 = repro.faults (specs grew a ``faults`` field, RunResult.extra
+#: carries fault telemetry).
+CODE_SALT = "repro-exec/v3"
 
 #: Default replay event budget, mirrored from ``run_single``.
 DEFAULT_MAX_EVENTS = 50_000_000
@@ -95,6 +97,11 @@ class RunSpec:
     bit-identical under every scheduler (the cross-scheduler determinism
     test enforces this), so cells cached under one scheduler are valid
     hits for any other.
+
+    ``faults`` is an optional :class:`~repro.faults.FaultPlan`. Its
+    content digest enters the identity hash; an *empty* plan hashes as
+    ``None`` (the runner executes the identical healthy code path for
+    both, so they must share a cache entry).
     """
 
     app: str
@@ -110,6 +117,7 @@ class RunSpec:
     tags: tuple[str, ...] = ()
     obs: Any = None
     scheduler: str = "heap"
+    faults: Any = None
 
     @property
     def label(self) -> str:
@@ -129,6 +137,9 @@ class RunSpec:
             if dataclasses.is_dataclass(self.obs)
             else self.obs
         )
+        faults = self.faults
+        if faults is not None:
+            faults = None if faults.is_empty() else faults.digest
         payload = json.dumps(
             {
                 "salt": CODE_SALT,
@@ -144,6 +155,7 @@ class RunSpec:
                 "max_events": self.max_events,
                 "tags": list(self.tags),
                 "obs": obs,
+                "faults": faults,
                 # NB: `scheduler` is intentionally absent — it cannot
                 # change results, so it must not split the cache.
             },
@@ -186,6 +198,7 @@ def plan_grid(
     max_events: int | None = DEFAULT_MAX_EVENTS,
     obs: Any = None,
     scheduler: str = "heap",
+    faults: Any = None,
 ) -> ExperimentPlan:
     """Enumerate the placement x routing grid (paper Sections IV-A/IV-C).
 
@@ -208,6 +221,7 @@ def plan_grid(
             max_events=max_events,
             obs=obs,
             scheduler=scheduler,
+            faults=faults,
         )
         for app in traces
         for placement in placements
@@ -226,6 +240,7 @@ def plan_sensitivity(
     max_events: int | None = DEFAULT_MAX_EVENTS,
     obs: Any = None,
     scheduler: str = "heap",
+    faults: Any = None,
 ) -> ExperimentPlan:
     """Enumerate the message-size sweep (paper Section IV-B).
 
@@ -255,6 +270,7 @@ def plan_sensitivity(
                     tags=(f"scale={scale:g}",),
                     obs=obs,
                     scheduler=scheduler,
+                    faults=faults,
                 )
             )
     return ExperimentPlan(config=config, specs=tuple(specs), traces=traces)

@@ -81,6 +81,7 @@ def simulate_spec(
         max_events=spec.max_events,
         obs=spec.obs,
         scheduler=getattr(spec, "scheduler", "heap"),
+        faults=getattr(spec, "faults", None),
     )
 
 

@@ -1,0 +1,40 @@
+"""repro.faults — deterministic link/router fault injection.
+
+See DESIGN.md §S15 for the fault model: which channels may fail, how
+failure-aware routing reroutes around dead ports, and how a
+:class:`FaultPlan` participates in experiment cache identity.
+"""
+
+from repro.faults.plan import (
+    FaultPlan,
+    FaultPlanError,
+    LinkFault,
+    RouterFault,
+    install_plan,
+    load_fault_plan,
+    random_fault_plan,
+    save_fault_plan,
+)
+from repro.faults.routing import (
+    DegradedTables,
+    FaultAwareAdaptiveRouting,
+    FaultAwareMinimalRouting,
+    UnreachableError,
+    make_fault_aware_routing,
+)
+
+__all__ = [
+    "DegradedTables",
+    "FaultAwareAdaptiveRouting",
+    "FaultAwareMinimalRouting",
+    "FaultPlan",
+    "FaultPlanError",
+    "LinkFault",
+    "RouterFault",
+    "UnreachableError",
+    "install_plan",
+    "load_fault_plan",
+    "make_fault_aware_routing",
+    "random_fault_plan",
+    "save_fault_plan",
+]

@@ -46,10 +46,13 @@ class CongestionEvent(NamedTuple):
     ``kind`` is one of ``"stall_onset"`` / ``"stall_clear"`` (a link's
     credit-stall interval opening / closing; ``value`` is the interval
     length on clear), ``"buffer_full"`` (a head packet could not obtain
-    downstream VC buffer space; ``value`` is the buffer occupancy), or
+    downstream VC buffer space; ``value`` is the buffer occupancy),
     ``"adaptive_divert"`` (adaptive routing chose a non-minimal path;
     ``link`` holds the deciding source *router* and ``value`` the chosen
-    path length).
+    path length), ``"fault"`` (a link fault landed; ``value`` is the
+    bandwidth scale, 0 for a dead link), or ``"reroute"`` (a packet was
+    re-routed around a dead channel; ``link`` is the new next hop and
+    ``value`` the remaining route length).
     """
 
     t_ns: float

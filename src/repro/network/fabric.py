@@ -109,6 +109,17 @@ class Fabric:
         #: to a fabric without the hooks.
         self.obs = None
 
+        #: Per-link liveness (see :mod:`repro.faults`). Always allocated
+        #: so the hot path pays exactly one list probe per forwarded hop;
+        #: with no faults the branch is never taken and the event stream
+        #: is bit-identical to a fabric without fault support.
+        self.link_down: list[bool] = [False] * n_links
+        #: Bumped by every applied fault; failure-aware routing policies
+        #: rebuild their degraded tables when it changes.
+        self.fault_epoch = 0
+        self.faults_applied = 0
+        self.packets_rerouted = 0
+
         self._bind_hot_path()
 
     # ------------------------------------------------------------------
@@ -130,6 +141,102 @@ class Fabric:
             if since >= 0.0:
                 sat[lid] += now - since
                 blocked[lid] = now  # keep open in case the sim resumes
+
+    # ------------------------------------------------------------------
+    # fault injection (cold path; see repro.faults and DESIGN.md §S15)
+    # ------------------------------------------------------------------
+    def apply_link_fault(self, link: int, bw_scale: float = 0.0) -> None:
+        """Fail one directed link now (``bw_scale == 0``) or degrade it.
+
+        Fail-stop semantics: a transmission already on the wire
+        completes and its packet arrives; packets *queued* on the dead
+        link are flushed and re-routed from the router they sit on, and
+        packets still upstream are caught by the liveness probe when
+        they reach the dead hop. A degrade multiplies the link's
+        bandwidth in place — queued and future packets serialise slower,
+        the in-flight one keeps its committed completion time.
+        """
+        if self.topo.links.kind_of(link).is_terminal:
+            raise ValueError(
+                f"link {link} is a terminal link and cannot be faulted"
+            )
+        now = self.sim.now
+        self.fault_epoch += 1
+        self.faults_applied += 1
+        if self.obs is not None:
+            self.obs.on_fault(now, link, bw_scale)
+        if bw_scale > 0.0:
+            self.bw[link] *= bw_scale
+            return
+        if self.link_down[link]:
+            return
+        self.link_down[link] = True
+        # A dead link can never transmit again: close its open stall
+        # interval (if any) so saturation accounting stays exact.
+        since = self._blocked_since[link]
+        if since >= 0.0:
+            self.sat_ns[link] += now - since
+            self._blocked_since[link] = -1.0
+            if self.obs is not None:
+                self.obs.on_stall_clear(now, link, now - since)
+        # Drop any elided-kick reservation; nothing will ever enqueue on
+        # this link again, so the reserved slot simply goes unused.
+        self._kick_seq[link] = -1
+        # Flush the waiters deterministically (VC order, FIFO within a
+        # VC), then re-route each from the router it is parked on. The
+        # flush completes before any re-route so a transmit cascade
+        # triggered by one re-routed packet cannot reorder the rest.
+        if self._wait_count[link]:
+            waitq = self._waitq[link]
+            flushed: list[Packet] = []
+            for vc in sorted(waitq):
+                q = waitq[vc]
+                while q:
+                    pkt = q.popleft()
+                    flushed.append(pkt)
+            waitq.clear()
+            self._wait_count[link] -= len(flushed)
+            for pkt in flushed:
+                self.queued_bytes[link] -= pkt.size
+            for pkt in flushed:
+                self._reroute(pkt)
+
+    def _reroute(self, pkt: Packet) -> None:
+        """Replace a packet's remaining route and re-enqueue it.
+
+        The packet sits at hop ``h`` — it has crossed ``route[h-1]`` and
+        still holds that link's VC buffer claim — and ``route[h]`` is
+        dead. The suffix from ``h`` on is recomputed from the current
+        router. The buffer claim stays consistent: its release VC on the
+        next transmit depends only on ``h`` and whether the *new* route
+        ends there, which matches the claim made on the old route
+        (``h-1`` can be neither 0 nor the old last index, since
+        terminal links never die).
+        """
+        route = pkt.route
+        hop = pkt.hop
+        msg = pkt.msg
+        here = self.topo.links._dst[route[hop - 1]]
+        rest = self.routing.route(self, here, msg.dst_node, pkt.size)
+        if hop + len(rest) - 2 > self.net.num_vcs:
+            raise RuntimeError(
+                f"re-route at hop {hop} needs {hop + len(rest) - 2} VCs "
+                f"but only {self.net.num_vcs} configured (fault detour "
+                "exceeds the VC budget)"
+            )
+        del route[hop:]
+        route.extend(rest)
+        nxt = route[hop]
+        if self.link_down[nxt]:
+            raise RuntimeError(
+                f"routing policy {self.routing.name!r} routed onto dead "
+                f"link {nxt}; faulted runs require the fault-aware "
+                "policies (repro.faults.make_fault_aware_routing)"
+            )
+        self.packets_rerouted += 1
+        if self.obs is not None:
+            self.obs.on_reroute(self.sim.now, nxt, len(rest))
+        self._enqueue(pkt, nxt)
 
     # ------------------------------------------------------------------
     # internals
@@ -211,6 +318,8 @@ class Fabric:
         packet_size = self.net.packet_size
         route_fn = self.routing.route
         num_vcs = self.net.num_vcs
+        link_down = self.link_down
+        reroute = self._reroute
         pool = _POOL
         pool_max = _POOL_MAX
         make_deque = deque
@@ -467,6 +576,11 @@ class Fabric:
             # Inlined _enqueue (keep in sync): one call frame per
             # forwarded hop is measurable at packet-event rates.
             link = route[hop]
+            if link_down[link]:
+                # The next channel died after this route was computed:
+                # re-route from the router the packet is sitting on.
+                reroute(pkt)
+                return
             vc = hop - 1 if hop < route_len - 1 else 0  # hop >= 1 here
             waitq = waitqs[link]
             q = waitq.get(vc)

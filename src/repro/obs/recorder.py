@@ -254,3 +254,15 @@ class ObsRecorder:
             self._record(
                 CongestionEvent(t, "adaptive_divert", src_router, -1, float(hops))
             )
+
+    def on_fault(self, t: float, link: int, bw_scale: float) -> None:
+        """A link fault landed: dead (``bw_scale == 0``) or degraded."""
+        if self.config.events:
+            self._record(CongestionEvent(t, "fault", link, -1, bw_scale))
+
+    def on_reroute(self, t: float, link: int, remaining_hops: int) -> None:
+        """A packet was re-routed around a dead channel onto ``link``."""
+        if self.config.events:
+            self._record(
+                CongestionEvent(t, "reroute", link, -1, float(remaining_hops))
+            )

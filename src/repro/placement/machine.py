@@ -34,6 +34,19 @@ class Machine:
         """Free nodes in natural (locality-preserving) order."""
         return sorted(self._free)
 
+    def mark_down(self, nodes) -> None:
+        """Remove ``nodes`` from the free pool without allocating them.
+
+        Used by fault injection: nodes attached to a failed router are
+        drained before placement (mirroring how a scheduler fences a
+        failed blade), so neither the application nor the background job
+        can land on them. Already-removed nodes are tolerated.
+        """
+        for n in nodes:
+            if not 0 <= n < self.params.num_nodes:
+                raise ValueError(f"node {n} out of range")
+        self._free.difference_update(nodes)
+
     def allocate(self, policy, num_nodes: int, seed: int = 0) -> list[int]:
         """Allocate ``num_nodes`` through ``policy`` (name or instance).
 

@@ -54,7 +54,6 @@ def test_traffic_bounded_by_hops():
     cfg = repro.tiny()
     trace = repro.amg_trace(num_ranks=8, seed=3).scaled(0.3)
     result = repro.run_single(cfg, trace, "cont", "min", seed=3)
-    topo = build_topology(cfg.topology)
     # Total bytes through all links >= total payload (each message
     # crosses at least the two terminal links).
     # (RunMetrics only covers job routers; recompute from the trace.)

@@ -1,0 +1,82 @@
+"""Resilience study: degradation accounting over the faulted grid."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core.resilience import resilience_study
+
+
+@pytest.fixture(scope="module")
+def result():
+    trace = repro.fill_boundary_trace(num_ranks=8, seed=3).scaled(0.05)
+    return resilience_study(
+        repro.tiny(),
+        {"FB": trace},
+        rates=[0.2],
+        placements=("cont", "rand"),
+        routings=("min", "adp"),
+        seed=7,
+        fault_seed=11,
+    )
+
+
+def test_rates_include_healthy_baseline(result):
+    assert result.rates == (0.0, 0.2)
+    assert result.plans[0.0] is None
+    assert result.plans[0.2] is not None and not result.plans[0.2].is_empty()
+    assert result.healthy is result.studies[0.0]
+
+
+def test_degradation_is_relative_to_healthy(result):
+    for label in result.labels():
+        assert result.degradation_pct("FB", label, 0.0) == 0.0
+        healthy = result.comm_time_ns("FB", label, 0.0)
+        faulted = result.comm_time_ns("FB", label, 0.2)
+        expected = 100.0 * (faulted - healthy) / healthy
+        assert result.degradation_pct("FB", label, 0.2) == pytest.approx(
+            expected
+        )
+
+
+def test_policy_degradation_averages_placements(result):
+    policy = result.policy_degradation("FB", 0.2)
+    assert set(policy) == {"min", "adp"}
+    for routing in ("min", "adp"):
+        per_placement = [
+            result.degradation_pct("FB", f"{p}-{routing}", 0.2)
+            for p in ("cont", "rand")
+        ]
+        assert policy[routing] == pytest.approx(
+            sum(per_placement) / len(per_placement)
+        )
+
+
+def test_faulted_cells_report_fault_telemetry(result):
+    digest = result.plans[0.2].digest
+    for run in result.studies[0.2].runs.values():
+        assert run.extra["faults"]["digest"] == digest
+        assert run.extra["faults"]["links_failed"] > 0
+    for run in result.studies[0.0].runs.values():
+        assert "faults" not in run.extra
+
+
+def test_json_export_shape(result, tmp_path):
+    import json
+
+    path = tmp_path / "res.json"
+    result.save_json(path)
+    data = json.loads(path.read_text())
+    assert data["schema"] == "repro-resilience/v1"
+    assert data["fault_seed"] == 11
+    assert len(data["cells"]) == len(result.labels()) * 2  # 2 rates
+    assert data["fault_plan_digests"] == {
+        "0": None,
+        "0.2": result.plans[0.2].digest,
+    }
+
+
+def test_rejects_out_of_range_rates():
+    with pytest.raises(ValueError):
+        resilience_study(repro.tiny(), {}, rates=[1.5])

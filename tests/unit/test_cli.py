@@ -65,6 +65,81 @@ class TestCommands:
         assert rc == 0
         assert "max_comm_ms" in out
 
+    def test_replay_with_fault_plan_file(self, capsys, tmp_path):
+        import repro
+        from repro.core.runner import build_topology
+        from repro.faults import random_fault_plan, save_fault_plan
+
+        trace = repro.amg_trace(num_ranks=8, seed=1).scaled(0.1)
+        trace_path = tmp_path / "amg.dumpi"
+        save_trace(trace, trace_path)
+        topo = build_topology(repro.tiny().topology)
+        plan = random_fault_plan(topo, 0.2, seed=11)
+        assert not plan.is_empty()
+        plan_path = save_fault_plan(plan, tmp_path / "plan.json")
+        rc, out = run_cli(
+            capsys,
+            "replay",
+            str(trace_path),
+            "--preset",
+            "tiny",
+            "--seed",
+            "1",
+            "--faults",
+            str(plan_path),
+        )
+        assert rc == 0
+        assert "max_comm_ms" in out
+
+    def test_replay_with_fault_rate(self, capsys, tmp_path):
+        import repro
+
+        trace = repro.amg_trace(num_ranks=8, seed=1).scaled(0.1)
+        path = tmp_path / "amg.dumpi"
+        save_trace(trace, path)
+        rc, out = run_cli(
+            capsys,
+            "replay",
+            str(path),
+            "--preset",
+            "tiny",
+            "--seed",
+            "1",
+            "--fault-rate",
+            "0.2",
+            "--fault-seed",
+            "11",
+        )
+        assert rc == 0
+        assert "max_comm_ms" in out
+
+    def test_resilience(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "resilience.json"
+        rc, out = run_cli(
+            capsys,
+            "resilience",
+            "FB",
+            "--rates",
+            "0.2",
+            "--fault-seed",
+            "11",
+            "--out",
+            str(out_path),
+            *COMMON,
+        )
+        assert rc == 0
+        assert "degradation" in out and "placement-averaged" in out
+        data = json.loads(out_path.read_text())
+        assert data["schema"] == "repro-resilience/v1"
+        assert len(data["cells"]) == 20  # 10 labels x (healthy + 0.2)
+        assert data["fault_plan_digests"]["0.2"] is not None
+
+    def test_resilience_rejects_bad_rates(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["resilience", "FB", "--rates", "0.1,bogus", *COMMON])
+
     def test_advise(self, capsys):
         rc, out = run_cli(capsys, "advise", "AMG", *COMMON)
         assert rc == 0

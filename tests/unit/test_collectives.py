@@ -1,6 +1,5 @@
 """Collective-expansion correctness: traces balance and replay cleanly."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.config import tiny

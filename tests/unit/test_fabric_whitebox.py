@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import NetworkParams, tiny
+from repro.config import tiny
 from repro.core.runner import build_topology
 from repro.engine.simulator import Simulator
 from repro.network.fabric import MAX_VCS, Fabric
@@ -58,8 +58,6 @@ class TestVcArbitration:
         cap = fabric.buf[link]
         # Exhaust VC 0's downstream buffer artificially.
         fabric._buf_used[link * MAX_VCS + 0] = cap
-        p_blocked = manual_packet(fabric, link, vc_hop=1)  # uses VC 0? no:
-        # vc_hop=1 -> VC index 1... we want one blocked on VC0, one free VC1.
         p_vc0 = manual_packet(fabric, link, vc_hop=0)  # hop 1 -> VC 0
         p_vc1 = manual_packet(fabric, link, vc_hop=1)  # hop 2 -> VC 1
         fabric._enqueue(p_vc0, link)  # cannot go: VC0 buffer full

@@ -25,27 +25,28 @@ def make_plan(obs=None):
 
 
 class TestCacheVersioning:
-    def test_pre_obs_salt_entries_are_misses(self, tmp_path, monkeypatch):
-        """Entries cached under the v1 salt must never be served by v2.
+    def test_stale_salt_entries_are_misses(self, tmp_path, monkeypatch):
+        """Entries cached under an older salt must never be served.
 
-        The obs schema change altered what a cached ``RunResult``
-        carries, so the salt was bumped; a warm v1 cache directory has
-        to behave as fully cold.
+        Each salt bump marks a change to what a cached ``RunResult``
+        carries (v2: obs schema; v3: fault telemetry in ``extra``); a
+        warm cache directory from an older salt has to behave as fully
+        cold.
         """
-        assert plan_mod.CODE_SALT == "repro-exec/v2"
+        assert plan_mod.CODE_SALT == "repro-exec/v3"
         cache = ResultCache(tmp_path)
 
-        monkeypatch.setattr(plan_mod, "CODE_SALT", "repro-exec/v1")
+        monkeypatch.setattr(plan_mod, "CODE_SALT", "repro-exec/v2")
         old_keys = make_plan().keys()
-        report_v1 = execute_plan(make_plan(), cache=cache)
-        assert report_v1.done == 1 and report_v1.cached == 0
+        report_v2 = execute_plan(make_plan(), cache=cache)
+        assert report_v2.done == 1 and report_v2.cached == 0
 
         monkeypatch.undo()
         new_keys = make_plan().keys()
         assert set(old_keys).isdisjoint(new_keys)
-        report_v2 = execute_plan(make_plan(), cache=cache)
-        assert report_v2.done == 1 and report_v2.cached == 0
-        # And the v2 entry now hits under the v2 salt.
+        report_v3 = execute_plan(make_plan(), cache=cache)
+        assert report_v3.done == 1 and report_v3.cached == 0
+        # And the v3 entry now hits under the v3 salt.
         assert execute_plan(make_plan(), cache=cache).cached == 1
 
     def test_obs_config_is_part_of_cell_identity(self):

@@ -14,7 +14,6 @@ from repro.routing.paths import (
 )
 from repro.routing.tables import route_tables
 from repro.topology.dragonfly import Dragonfly
-from repro.topology.geometry import router_coord
 
 PARAMS = DragonflyParams(
     groups=4, rows=3, cols=4, nodes_per_router=2,

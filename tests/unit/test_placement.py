@@ -1,11 +1,9 @@
 """Placement-policy tests (paper Section III-B invariants)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.config import DragonflyParams
-from repro.engine.rng import rng_stream
 from repro.placement import (
     PLACEMENT_NAMES,
     Machine,

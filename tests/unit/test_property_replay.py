@@ -6,7 +6,6 @@ per rank), replayed on the tiny machine under both routings, and checked
 for byte conservation and completion.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.config import tiny
