@@ -1,0 +1,199 @@
+"""Flow-vs-packet backend throughput benchmark (the repro.flow gate).
+
+Times the tiny-preset 5x2 placement x routing grid — serial, cache
+off — under both simulation backends at a realistic message scale and
+reports wall-clock mean/stdev, grid cells per second, and the
+flow-over-packet speedup. Repeats are interleaved A/B
+(packet, flow, packet, flow, ...) so slow clock drift or thermal
+throttling biases both backends equally instead of whichever ran
+last. This is the workload behind the speedup claim in
+``BENCH_flow.json`` and the CI flow-smoke gate.
+
+Usage::
+
+    python benchmarks/bench_flow.py                   # full run
+    python benchmarks/bench_flow.py --quick           # CI smoke
+    python benchmarks/bench_flow.py --out BENCH.json
+    python benchmarks/bench_flow.py --quick \\
+        --compare BENCH_flow.json --max-regression 0.25
+
+``--compare`` exits non-zero when either backend's cells/s fall more
+than ``--max-regression`` below the reference file or the measured
+flow speedup drops under ``--min-speedup`` (default 5x, the
+acceptance floor from DESIGN.md S16).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import repro
+from repro.core.study import TradeoffStudy
+from repro.flow.routes import BACKEND_NAMES
+
+#: Versioned result-file schema.
+SCHEMA = "repro-bench-flow/v1"
+
+#: The cross-fidelity scenario at a non-degenerate message scale
+#: (0.05 leaves only 1-3 packets per message, which understates the
+#: fluid model's advantage; 0.2 keeps the packet runs short enough
+#: to repeat while the speedup is already representative).
+SCENARIO = {
+    "preset": "tiny",
+    "app": "FB",
+    "ranks": 8,
+    "trace_seed": 3,
+    "msg_scale": 0.2,
+    "study_seed": 7,
+}
+
+
+def _grid_once(backend: str) -> tuple[float, int]:
+    """One full 5x2 grid run; returns (wall seconds, grid cells)."""
+    cfg = repro.tiny()
+    trace = repro.fill_boundary_trace(
+        num_ranks=SCENARIO["ranks"], seed=SCENARIO["trace_seed"]
+    ).scaled(SCENARIO["msg_scale"])
+    t0 = time.perf_counter()
+    result = TradeoffStudy(
+        cfg,
+        {SCENARIO["app"]: trace},
+        seed=SCENARIO["study_seed"],
+        backend=backend,
+    ).run()
+    return time.perf_counter() - t0, len(result.runs)
+
+
+def bench(repeats: int, warmup: int = 1) -> dict:
+    """Time both backends A/B-interleaved; return the result doc."""
+    times: dict[str, list[float]] = {b: [] for b in BACKEND_NAMES}
+    cells = 0
+    for backend in BACKEND_NAMES:
+        for _ in range(warmup):
+            _grid_once(backend)
+    for rep in range(repeats):
+        for backend in BACKEND_NAMES:  # interleaved: packet, flow, ...
+            wall, cells = _grid_once(backend)
+            times[backend].append(wall)
+            print(
+                f"rep {rep + 1}/{repeats} {backend:>6}: {wall:.4f}s",
+                file=sys.stderr,
+            )
+    configs = {}
+    for backend, walls in times.items():
+        mean = statistics.mean(walls)
+        configs[backend] = {
+            "mean_s": round(mean, 4),
+            "stdev_s": round(
+                statistics.stdev(walls) if len(walls) > 1 else 0.0, 4
+            ),
+            "min_s": round(min(walls), 4),
+            "repeats": repeats,
+            "cells": cells,
+            "cells_per_s": round(cells / mean, 2),
+        }
+    speedup = configs["packet"]["mean_s"] / configs["flow"]["mean_s"]
+    print(f"flow speedup over packet: {speedup:.1f}x", file=sys.stderr)
+    return {
+        "schema": SCHEMA,
+        "scenario": SCENARIO,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "configs": configs,
+        "speedup": round(speedup, 2),
+    }
+
+
+def compare(
+    doc: dict, ref_path: Path, max_regression: float, min_speedup: float
+) -> int:
+    """Gate ``doc`` against a reference file; returns the exit code."""
+    ref = json.loads(ref_path.read_text())
+    baseline = ref.get("after", ref)  # PR files keep before/after blocks
+    if baseline.get("schema") != SCHEMA:
+        print(f"schema mismatch in {ref_path}, skipping gate", file=sys.stderr)
+        return 0
+    failed = False
+    for backend, cfg in baseline["configs"].items():
+        cur = doc["configs"].get(backend)
+        if cur is None:
+            print(f"MISSING  {backend}: not measured", file=sys.stderr)
+            failed = True
+            continue
+        ratio = cur["cells_per_s"] / cfg["cells_per_s"]
+        status = "OK" if ratio >= 1.0 - max_regression else "REGRESSED"
+        print(
+            f"{status:>9}  {backend}: {cur['cells_per_s']:,} cells/s vs "
+            f"reference {cfg['cells_per_s']:,} ({ratio:.2f}x)",
+            file=sys.stderr,
+        )
+        if status != "OK":
+            failed = True
+    status = "OK" if doc["speedup"] >= min_speedup else "REGRESSED"
+    print(
+        f"{status:>9}  speedup: {doc['speedup']:.1f}x "
+        f"(floor {min_speedup:.1f}x)",
+        file=sys.stderr,
+    )
+    if status != "OK":
+        failed = True
+    return 1 if failed else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="timed runs per backend"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="2 repeats (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="JSON", help="write results to file"
+    )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="JSON",
+        help="reference BENCH_flow.json to gate cells/s against",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="tolerated fractional cells/s drop vs reference (default 0.25)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="minimum flow-over-packet speedup (default 5.0)",
+    )
+    args = parser.parse_args(argv)
+
+    repeats = 2 if args.quick else args.repeats
+    doc = bench(repeats=repeats, warmup=1)
+
+    if args.out:
+        Path(args.out).write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(json.dumps(doc, indent=2))
+
+    if args.compare:
+        return compare(
+            doc, Path(args.compare), args.max_regression, args.min_speedup
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Sweep a grid with the fast flow backend, spot-check at packet level.
+
+The intended division of labour for ``repro.flow`` (DESIGN.md S16):
+
+1. run the full placement x routing grid under ``backend="flow"`` —
+   fluid flows with max-min link sharing instead of per-packet
+   events, typically an order of magnitude faster;
+2. cross-check ranking fidelity with ``fidelity_report`` (Kendall-tau
+   over the placement order, top-1 agreement, per-metric error);
+3. re-run only the flow-picked winners under the packet backend for
+   full-fidelity numbers.
+
+Run:  python examples/flow_vs_packet.py
+"""
+
+import time
+
+import repro
+from repro.flow import fidelity_report
+
+
+def main() -> None:
+    config = repro.tiny()
+    traces = {"FB": repro.fill_boundary_trace(num_ranks=8, seed=3).scaled(0.2)}
+
+    print("1. full 5x2 grid under the flow backend")
+    t0 = time.perf_counter()
+    flow = repro.TradeoffStudy(config, traces, seed=7, backend="flow").run()
+    flow_s = time.perf_counter() - t0
+    best = flow.best_label("FB")
+    print(f"   {len(flow.runs)} cells in {flow_s:.2f}s, best {best}")
+
+    print("2. cross-fidelity check against the packet backend")
+    fid = fidelity_report(config, traces, seed=7)
+    print("   " + fid.format_table().replace("\n", "\n   "))
+    assert fid.top1_agreement(), "flow and packet disagree on the winner"
+
+    print("3. packet-fidelity re-run of the flow-picked winner")
+    placement, routing = best.rsplit("-", 1)
+    t0 = time.perf_counter()
+    result = repro.run_single(
+        config, traces["FB"], placement, routing, seed=7, backend="packet"
+    )
+    packet_s = time.perf_counter() - t0
+    for key, value in result.metrics.summary().items():
+        print(f"   {key:>18}: {value:.4f}")
+    print(f"   one packet cell took {packet_s:.2f}s "
+          f"(~{packet_s * len(flow.runs) / flow_s:.0f}x the whole flow grid)")
+
+    print("\nsame thing from the shell:")
+    print("  dragonfly-tradeoff study FB --preset tiny --ranks 8 "
+          "--msg-scale 0.2 --backend flow")
+    print("  dragonfly-tradeoff fidelity FB --preset tiny --ranks 8 "
+          "--msg-scale 0.2 --out fidelity.json")
+
+
+if __name__ == "__main__":
+    main()

@@ -78,6 +78,13 @@ from repro.exec import (
     plan_grid,
     plan_sensitivity,
 )
+from repro.flow import (
+    BACKEND_NAMES,
+    FidelityReport,
+    FlowFabric,
+    FlowParams,
+    fidelity_report,
+)
 
 __version__ = "1.0.0"
 
@@ -141,5 +148,10 @@ __all__ = [
     "execute_plan",
     "plan_grid",
     "plan_sensitivity",
+    "BACKEND_NAMES",
+    "FidelityReport",
+    "FlowFabric",
+    "FlowParams",
+    "fidelity_report",
     "__version__",
 ]

@@ -6,6 +6,7 @@ Commands mirror the paper's three analysis steps plus utilities:
 * ``sensitivity``  — Section IV-B message-size sweep (Figure 7 data)
 * ``interference`` — Section IV-C background-traffic study (Figures 8-10)
 * ``resilience``   — failure-rate sweep over the grid (repro.faults)
+* ``fidelity``     — flow-vs-packet cross-fidelity check (repro.flow)
 * ``replay``       — replay a repro-dumpi trace file
 * ``characterize`` — print an app's communication matrix summary (Fig 2)
 * ``nomenclature`` — print Table I
@@ -14,6 +15,10 @@ Fault injection (DESIGN.md §S15) is available on every simulating
 command: ``--faults plan.json`` loads an explicit
 :class:`~repro.faults.FaultPlan`, or ``--fault-rate R`` draws a seeded
 one (``--fault-seed``) for the chosen preset's topology.
+
+``--backend flow`` switches any simulating command to the fast
+flow-level model (DESIGN.md §S16); it does not support ``--obs`` or
+fault injection.
 """
 
 from __future__ import annotations
@@ -37,6 +42,7 @@ from repro.core.study import TradeoffStudy
 from repro.core.runner import run_single
 from repro.engine.queues import SCHEDULER_NAMES
 from repro.exec.progress import TextReporter
+from repro.flow import BACKEND_NAMES
 from repro.mpi.dumpi import load_trace
 from repro.obs import ObsConfig, export as obs_export
 
@@ -112,6 +118,13 @@ def _add_common(p: argparse.ArgumentParser) -> None:
         choices=("jsonl", "csv"),
         default="jsonl",
         help="telemetry export format (default: jsonl)",
+    )
+    p.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="packet",
+        help="simulation model: the exact packet engine or the fast "
+        "flow-level approximation (default: packet)",
     )
     p.add_argument(
         "--scheduler",
@@ -253,6 +266,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_common(p_res)
 
+    p_fid = sub.add_parser(
+        "fidelity", help="flow-vs-packet cross-fidelity check"
+    )
+    p_fid.add_argument("app", choices=sorted(APP_BUILDERS))
+    p_fid.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH.json",
+        help="write the repro-fidelity/v1 report as JSON",
+    )
+    _add_common(p_fid)
+
     p_replay = sub.add_parser("replay", help="replay a repro-dumpi trace file")
     p_replay.add_argument("trace_file")
     p_replay.add_argument("--placement", default="cont")
@@ -287,11 +312,20 @@ def main(argv: list[str] | None = None) -> int:
 
     config = _PRESETS[args.preset]().with_seed(args.seed)
 
+    if getattr(args, "backend", "packet") == "flow":
+        if args.obs or args.obs_out:
+            parser.error("--backend flow does not support --obs telemetry")
+        if args.faults or args.fault_rate > 0.0:
+            parser.error("--backend flow does not support fault injection")
+        if args.command == "resilience":
+            parser.error("resilience requires the packet backend")
+
     if args.command == "study":
         trace = _build_trace(args)
         result = TradeoffStudy(
             config, {args.app: trace}, seed=args.seed, obs=_obs_config(args),
             scheduler=args.scheduler, faults=_fault_plan(args, config),
+            backend=args.backend,
         ).run(verbose=True, **_exec_opts(args))
         _export_study_obs(result, args)
         print()
@@ -319,7 +353,7 @@ def main(argv: list[str] | None = None) -> int:
         sens = sensitivity_sweep(
             config, trace, scales, seed=args.seed, obs=_obs_config(args),
             scheduler=args.scheduler, faults=_fault_plan(args, config),
-            **_exec_opts(args),
+            backend=args.backend, **_exec_opts(args),
         )
         rel = sens.relative()
         print(
@@ -342,7 +376,7 @@ def main(argv: list[str] | None = None) -> int:
         result = interference_study(
             config, trace, spec, seed=args.seed, obs=_obs_config(args),
             scheduler=args.scheduler, faults=_fault_plan(args, config),
-            **_exec_opts(args),
+            backend=args.backend, **_exec_opts(args),
         )
         _export_study_obs(result, args)
         print(
@@ -391,12 +425,29 @@ def main(argv: list[str] | None = None) -> int:
             print(f"wrote {args.out}", file=sys.stderr)
         return 0
 
+    if args.command == "fidelity":
+        from repro.flow import fidelity_report
+
+        trace = _build_trace(args)
+        fid = fidelity_report(
+            config,
+            {args.app: trace},
+            seed=args.seed,
+            scheduler=args.scheduler,
+            **_exec_opts(args),
+        )
+        print(fid.format_table())
+        if args.out is not None:
+            fid.save_json(args.out)
+            print(f"wrote {args.out}", file=sys.stderr)
+        return 0
+
     if args.command == "replay":
         trace = load_trace(args.trace_file)
         result = run_single(
             config, trace, args.placement, args.routing, seed=args.seed,
             obs=_obs_config(args), scheduler=args.scheduler,
-            faults=_fault_plan(args, config),
+            faults=_fault_plan(args, config), backend=args.backend,
         )
         s = result.metrics.summary()
         for k, v in s.items():

@@ -89,6 +89,7 @@ def interference_study(
     obs=None,
     scheduler: str = "heap",
     faults=None,
+    backend: str = "packet",
 ) -> StudyResult:
     """Run the placement x routing grid with background traffic.
 
@@ -107,6 +108,7 @@ def interference_study(
         obs=obs,
         scheduler=scheduler,
         faults=faults,
+        backend=backend,
     )
     return study.run(
         max_workers=max_workers, cache_dir=cache_dir, progress=progress

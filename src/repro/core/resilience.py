@@ -142,6 +142,7 @@ def resilience_study(
     progress=None,
     obs=None,
     scheduler: str = "heap",
+    backend: str = "packet",
 ) -> ResilienceResult:
     """Sweep failure rate over the placement x routing grid.
 
@@ -184,6 +185,7 @@ def resilience_study(
             obs=obs,
             scheduler=scheduler,
             faults=plan,
+            backend=backend,
         ).run(
             max_workers=max_workers, cache_dir=cache_dir, progress=progress
         )

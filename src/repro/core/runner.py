@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import functools
+import time
 from dataclasses import dataclass, field
 
 from repro.config import DragonflyParams, SimulationConfig
@@ -53,6 +54,11 @@ class RunResult:
     extra: dict = field(default_factory=dict)
     #: Time-resolved telemetry (present when the run was observed).
     obs: TimeSeriesMetrics | None = None
+    #: Simulation backend that produced this result ("packet" or "flow").
+    backend: str = "packet"
+    #: Host wall-clock seconds spent simulating this cell. Measurement
+    #: only — never part of cache identity or determinism fingerprints.
+    wall_s: float = 0.0
 
     @property
     def label(self) -> str:
@@ -73,6 +79,7 @@ def run_single(
     obs: ObsConfig | None = None,
     scheduler: str = "heap",
     faults=None,
+    backend: str = "packet",
 ) -> RunResult:
     """Simulate one application under one placement/routing combination.
 
@@ -97,7 +104,28 @@ def run_single(
     the plan's link faults are installed at their onset times. ``None``
     and an empty plan take the exact healthy code path, so fault-free
     results stay bit-identical to a build without fault support.
+
+    ``backend`` selects the simulation model: ``"packet"`` (default) is
+    the exact packet-level engine; ``"flow"`` is the fluid max-min model
+    (:mod:`repro.flow`, DESIGN.md S16) — orders of magnitude faster,
+    emitting the same metric set. Unlike ``scheduler``, the backend
+    *does* change results, so it is part of the exec cache identity.
+    The flow backend does not support ``obs`` or fault injection.
     """
+    wall_start = time.perf_counter()
+    if backend not in ("packet", "flow"):
+        raise ValueError(f"unknown backend {backend!r}")
+    if backend == "flow":
+        if obs is not None:
+            raise ValueError(
+                "the flow backend does not support observability (obs); "
+                "use backend='packet' for time-resolved telemetry"
+            )
+        if faults is not None and not faults.is_empty():
+            raise ValueError(
+                "the flow backend does not support fault injection; "
+                "use backend='packet' for resilience studies"
+            )
     if seed is None:
         seed = config.seed
     topo = build_topology(config.topology)
@@ -112,13 +140,19 @@ def run_single(
     nodes = machine.allocate(placement, trace.num_ranks, seed=seed)
 
     sim = Simulator(scheduler=scheduler)
-    if fault_plan is not None:
-        from repro.faults.routing import make_fault_aware_routing
+    routing_policy = None
+    if backend == "flow":
+        from repro.flow.fabric import FlowFabric
 
-        routing_policy = make_fault_aware_routing(routing, seed=seed)
+        fabric = FlowFabric(sim, topo, config.network, routing)
     else:
-        routing_policy = make_routing(routing, seed=seed)
-    fabric = Fabric(sim, topo, config.network, routing_policy)
+        if fault_plan is not None:
+            from repro.faults.routing import make_fault_aware_routing
+
+            routing_policy = make_fault_aware_routing(routing, seed=seed)
+        else:
+            routing_policy = make_routing(routing, seed=seed)
+        fabric = Fabric(sim, topo, config.network, routing_policy)
     engine = ReplayEngine(
         sim, fabric, compute_scale=compute_scale, record_sends=record_sends
     )
@@ -149,7 +183,9 @@ def run_single(
     timeseries = recorder.finalize(sim.now) if recorder is not None else None
 
     nonmin_frac = 0.0
-    if isinstance(routing_policy, AdaptiveRouting):
+    if backend == "flow":
+        nonmin_frac = fabric.nonminimal_fraction
+    elif isinstance(routing_policy, AdaptiveRouting):
         decided = routing_policy.minimal_taken + routing_policy.nonminimal_taken
         if decided:
             nonmin_frac = routing_policy.nonminimal_taken / decided
@@ -177,4 +213,6 @@ def run_single(
         background_messages=injector.messages_sent if injector else 0,
         extra=extra,
         obs=timeseries,
+        backend=backend,
+        wall_s=time.perf_counter() - wall_start,
     )

@@ -89,6 +89,7 @@ def sensitivity_sweep(
     obs=None,
     scheduler: str = "heap",
     faults=None,
+    backend: str = "packet",
 ) -> SensitivityResult:
     """Run the message-size sweep for one application.
 
@@ -105,7 +106,7 @@ def sensitivity_sweep(
 
     plan = plan_sensitivity(
         config, trace, scales, configs, seed=seed, compute_scale=compute_scale,
-        obs=obs, scheduler=scheduler, faults=faults,
+        obs=obs, scheduler=scheduler, faults=faults, backend=backend,
     )
     report = execute_plan(
         plan,

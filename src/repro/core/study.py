@@ -39,6 +39,7 @@ class TradeoffStudy:
         obs=None,
         scheduler: str = "heap",
         faults=None,
+        backend: str = "packet",
     ) -> None:
         if not isinstance(traces, Mapping):
             traces = {t.name: t for t in traces}
@@ -55,6 +56,7 @@ class TradeoffStudy:
         self.obs = obs
         self.scheduler = scheduler
         self.faults = faults
+        self.backend = backend
 
     def plan(self):
         """The study as a flat :class:`~repro.exec.plan.ExperimentPlan`."""
@@ -70,6 +72,7 @@ class TradeoffStudy:
             obs=self.obs,
             scheduler=self.scheduler,
             faults=self.faults,
+            backend=self.backend,
         )
 
     def run(

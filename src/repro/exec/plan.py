@@ -47,8 +47,9 @@ __all__ = [
 #: History: v1 = original executor; v2 = repro.obs schema (RunResult
 #: grew ``obs``/``TimeSeriesMetrics``, specs grew an ``obs`` field);
 #: v3 = repro.faults (specs grew a ``faults`` field, RunResult.extra
-#: carries fault telemetry).
-CODE_SALT = "repro-exec/v3"
+#: carries fault telemetry); v4 = repro.flow (specs grew a ``backend``
+#: field, RunResult grew ``backend``/``wall_s``).
+CODE_SALT = "repro-exec/v4"
 
 #: Default replay event budget, mirrored from ``run_single``.
 DEFAULT_MAX_EVENTS = 50_000_000
@@ -102,6 +103,11 @@ class RunSpec:
     content digest enters the identity hash; an *empty* plan hashes as
     ``None`` (the runner executes the identical healthy code path for
     both, so they must share a cache entry).
+
+    ``backend`` selects the simulation model (``"packet"`` or
+    ``"flow"``, see :mod:`repro.flow`). Unlike ``scheduler`` it **does**
+    change results, so it is part of the identity hash: a flow cell
+    never shares a cache entry with its packet twin.
     """
 
     app: str
@@ -118,6 +124,7 @@ class RunSpec:
     obs: Any = None
     scheduler: str = "heap"
     faults: Any = None
+    backend: str = "packet"
 
     @property
     def label(self) -> str:
@@ -156,6 +163,7 @@ class RunSpec:
                 "tags": list(self.tags),
                 "obs": obs,
                 "faults": faults,
+                "backend": self.backend,
                 # NB: `scheduler` is intentionally absent — it cannot
                 # change results, so it must not split the cache.
             },
@@ -199,6 +207,7 @@ def plan_grid(
     obs: Any = None,
     scheduler: str = "heap",
     faults: Any = None,
+    backend: str = "packet",
 ) -> ExperimentPlan:
     """Enumerate the placement x routing grid (paper Sections IV-A/IV-C).
 
@@ -222,6 +231,7 @@ def plan_grid(
             obs=obs,
             scheduler=scheduler,
             faults=faults,
+            backend=backend,
         )
         for app in traces
         for placement in placements
@@ -241,6 +251,7 @@ def plan_sensitivity(
     obs: Any = None,
     scheduler: str = "heap",
     faults: Any = None,
+    backend: str = "packet",
 ) -> ExperimentPlan:
     """Enumerate the message-size sweep (paper Section IV-B).
 
@@ -271,6 +282,7 @@ def plan_sensitivity(
                     obs=obs,
                     scheduler=scheduler,
                     faults=faults,
+                    backend=backend,
                 )
             )
     return ExperimentPlan(config=config, specs=tuple(specs), traces=traces)

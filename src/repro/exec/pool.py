@@ -82,6 +82,7 @@ def simulate_spec(
         obs=spec.obs,
         scheduler=getattr(spec, "scheduler", "heap"),
         faults=getattr(spec, "faults", None),
+        backend=getattr(spec, "backend", "packet"),
     )
 
 
@@ -287,7 +288,10 @@ def _run_serial(
             outcomes[i] = CellOutcome(
                 spec, "done", result=result, attempts=attempt, wall_s=wall
             )
-            tracker.cell_done(spec, wall, attempt)
+            tracker.cell_done(
+                spec, wall, attempt,
+                sim_wall_s=getattr(result, "wall_s", None),
+            )
             break
     return outcomes
 
@@ -356,7 +360,10 @@ def _run_parallel(
                         spec, "done", result=result,
                         attempts=attempts[i], wall_s=wall,
                     )
-                    tracker.cell_done(spec, wall, attempts[i])
+                    tracker.cell_done(
+                        spec, wall, attempts[i],
+                        sim_wall_s=getattr(result, "wall_s", None),
+                    )
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
         queue = sorted(resubmit)

@@ -45,6 +45,10 @@ class ProgressEvent:
     key: str = ""
     attempt: int = 1
     wall_s: float | None = None
+    #: Wall seconds spent *inside the simulator* for this cell
+    #: (``RunResult.wall_s``); distinguishes simulate cost from
+    #: pool/IPC overhead on ``cell-done`` events.
+    sim_wall_s: float | None = None
     eta_s: float | None = None
     error: str | None = None
 
@@ -117,12 +121,18 @@ class ProgressTracker:
             attempt=attempt,
         )
 
-    def cell_done(self, spec, wall_s: float, attempt: int = 1) -> None:
+    def cell_done(
+        self,
+        spec,
+        wall_s: float,
+        attempt: int = 1,
+        sim_wall_s: float | None = None,
+    ) -> None:
         self.done += 1
         self.wall_s_total += wall_s
         self._emit(
             "cell-done", app=spec.app, label=spec.label, key=spec.key,
-            wall_s=wall_s, attempt=attempt,
+            wall_s=wall_s, sim_wall_s=sim_wall_s, attempt=attempt,
         )
 
     def cell_cached(self, spec) -> None:

@@ -1,0 +1,480 @@
+"""Deterministic path/weight model for the flow-level backend.
+
+The packet backend routes every packet individually: minimal routing
+picks one of up to eight minimum-hop candidates uniformly at random,
+and adaptive (UGAL-L) weighs sampled minimal against sampled Valiant
+candidates per packet. The flow backend replaces the per-packet
+machinery with per-*message* equivalents:
+
+* ``min``: each (source node, destination node) pair maps to a fixed
+  aggregate — weight ``1/n`` on each of the ``n`` minimal candidates —
+  exactly the uniform random spread of
+  :class:`~repro.routing.minimal.MinimalRouting`, in expectation. A
+  message of ``S`` wire bytes deposits ``w * S`` bytes on every link of
+  weight ``w``.
+* ``adp``: per pair, a fixed *candidate set* (all minimal candidates
+  plus a bounded deterministic Valiant set) is enumerated once; at each
+  message injection the fabric scores the candidates with the packet
+  model's own UGAL-L rule — unloaded traversal time plus the first
+  link's backlog scaled by hop count, Valiant costs inflated by
+  :attr:`FlowParams.nonminimal_weight` and offset by
+  :attr:`FlowParams.minimal_bias_ns` — and the whole message follows
+  the winner. The decision is per message instead of per packet (a
+  documented fidelity limit, DESIGN.md S16), but it preserves what the
+  study measures: detours are taken exactly when minimal paths look
+  congested.
+
+Everything here is static given the topology, so entries and candidate
+sets are memoised per (src_node, dst_node) pair, mirroring
+:mod:`repro.routing.tables`.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+from dataclasses import dataclass
+from typing import NamedTuple
+
+from repro.config import NetworkParams
+from repro.routing.tables import route_tables
+from repro.topology.dragonfly import Dragonfly
+
+__all__ = [
+    "BACKEND_NAMES",
+    "FlowParams",
+    "FlowEntry",
+    "FlowCandidate",
+    "FlowRouteModel",
+    "flow_route_model",
+]
+
+#: Valid values of the ``backend`` knob threaded through the drivers.
+BACKEND_NAMES = ("packet", "flow")
+
+#: Injection-emulation bound: the UGAL spill pattern stabilises within
+#: a few dozen packets (the participation set stops growing once every
+#: attractive port carries backlog), so longer messages reuse the
+#: pattern of their first ``SPILL_QUANTA`` packets.
+SPILL_QUANTA = 64
+
+
+@dataclass(frozen=True)
+class FlowParams:
+    """Tunables of the flow-level model (DESIGN.md S16)."""
+
+    #: Rate-solve admission grid in simulated ns: flows injected while
+    #: the network is mid-epoch are admitted (and rates re-solved) at
+    #: the next multiple of this grid, coalescing bursts of injections
+    #: into one bottleneck solve. ``0`` solves at every injection.
+    epoch_ns: float = 500.0
+    #: Minimal-route enumeration bound (mirrors ``MinimalRouting``).
+    max_minimal: int = 8
+    #: Bound on the deterministic Valiant candidate set (intermediate
+    #: groups for inter-group pairs, intermediate routers for
+    #: intra-group pairs).
+    max_valiant_groups: int = 4
+    #: UGAL minimal preference, mirroring
+    #: :class:`~repro.routing.adaptive.AdaptiveRouting`: a Valiant
+    #: candidate's cost is multiplied by ``nonminimal_weight`` and
+    #: offset by ``minimal_bias_ns`` before comparison.
+    minimal_bias_ns: float = 100.0
+    nonminimal_weight: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.epoch_ns < 0:
+            raise ValueError("epoch_ns must be non-negative")
+        if self.max_minimal < 1:
+            raise ValueError("max_minimal must be positive")
+        if self.max_valiant_groups < 1:
+            raise ValueError("max_valiant_groups must be positive")
+        if self.minimal_bias_ns < 0:
+            raise ValueError("minimal_bias_ns must be non-negative")
+        if self.nonminimal_weight < 1.0:
+            raise ValueError("nonminimal_weight must be >= 1")
+
+
+class FlowEntry(NamedTuple):
+    """Aggregated route of one (src_node, dst_node) flow."""
+
+    #: ``(link id, weight)`` pairs, sorted by link id. Terminal links
+    #: carry weight 1 (every byte crosses them); router-to-router links
+    #: carry the summed weight of the candidate paths using them.
+    links: tuple[tuple[int, float], ...]
+    #: Weighted end-to-end hop latency in ns (includes router delay),
+    #: charged between injection completion and delivery.
+    latency_ns: float
+    #: Weighted router-to-router hop count (the packet model's
+    #: ``route_len - 2``), per packet.
+    rr_hops: float
+    #: Fraction of the flow's bytes on non-minimal paths.
+    nonmin_fraction: float
+
+
+class FlowCandidate(NamedTuple):
+    """One scoreable adaptive route: its entry plus the raw path."""
+
+    entry: FlowEntry
+    #: Router-to-router link ids, in traversal order — what the UGAL
+    #: cost rule walks (terminals are common to every candidate).
+    rr_path: tuple[int, ...]
+
+
+class FlowRouteModel:
+    """Memoised (src_node, dst_node) -> route structures."""
+
+    def __init__(
+        self,
+        topo: Dragonfly,
+        net: NetworkParams,
+        routing: str,
+        params: FlowParams | None = None,
+    ) -> None:
+        if routing not in ("min", "adp"):
+            raise ValueError(f"unknown routing policy {routing!r}")
+        self.topo = topo
+        self.routing = routing
+        self.params = params if params is not None else FlowParams()
+        self.tables = route_tables(topo)
+        bw, lat, _buf = topo.link_profiles(net)
+        self.bw: list[float] = bw.tolist()
+        #: Per-link hop latency including the router traversal delay,
+        #: matching the packet fabric's ``lat`` table.
+        self.lat: list[float] = (lat + net.router_delay_ns).tolist()
+        self.packet_size = net.packet_size
+        self._cache: dict[tuple[int, int], FlowEntry] = {}
+        self._cand_cache: dict[
+            tuple[int, int], tuple[FlowCandidate, ...]
+        ] = {}
+        #: (src, dst, size class) -> static UGAL scoring rows.
+        self._scoring: dict[
+            tuple[int, int, int],
+            tuple[tuple[float, int, int, FlowEntry], ...],
+        ] = {}
+        #: Memoised spill patterns for load-free injections (by far the
+        #: common case on lightly loaded fabrics).
+        self._idle_spill: dict[
+            tuple[int, int, int, int], tuple[FlowEntry, ...]
+        ] = {}
+
+    def entry(self, src_node: int, dst_node: int) -> FlowEntry:
+        """The minimal aggregate entry (uniform over candidates)."""
+        key = (src_node, dst_node)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        built = self._build(src_node, dst_node)
+        self._cache[key] = built
+        return built
+
+    def candidates(
+        self, src_node: int, dst_node: int
+    ) -> tuple[FlowCandidate, ...]:
+        """Adaptive candidate set: minimal paths first, then Valiant."""
+        key = (src_node, dst_node)
+        hit = self._cand_cache.get(key)
+        if hit is not None:
+            return hit
+        built = self._build_candidates(src_node, dst_node)
+        self._cand_cache[key] = built
+        return built
+
+    def scoring(
+        self, src_node: int, dst_node: int, cost_size: int
+    ) -> tuple[tuple[float, int, int, FlowEntry], ...]:
+        """Static UGAL-L scoring rows for the pair's candidate set.
+
+        One ``(unloaded cost, first link, hop count, entry)`` row per
+        candidate; same-router candidates (empty path) get a sentinel
+        first link of ``-1`` and cost 0, mirroring the packet policy.
+        """
+        key = (src_node, dst_node, cost_size)
+        hit = self._scoring.get(key)
+        if hit is not None:
+            return hit
+        bw = self.bw
+        lat = self.lat
+        rows: list[tuple[float, int, int, FlowEntry]] = []
+        for cand in self.candidates(src_node, dst_node):
+            path = cand.rr_path
+            if path:
+                unl = 0.0
+                for lid in path:
+                    unl += cost_size / bw[lid] + lat[lid]
+                rows.append((unl, path[0], len(path), cand.entry))
+            else:
+                rows.append((0.0, -1, 0, cand.entry))
+        built = tuple(rows)
+        self._scoring[key] = built
+        return built
+
+    def spill(
+        self,
+        src_node: int,
+        dst_node: int,
+        size: int,
+        load: list[float] | None,
+    ) -> tuple[FlowEntry, ...]:
+        """Candidates the packet policy's UGAL-L rule would spread onto.
+
+        The packet fabric decides a route *per packet* against the live
+        first-hop backlog, and a message's own earlier packets are part
+        of that backlog: the NIC feeds packets at terminal bandwidth
+        while each router port drains slower, so a long message spills
+        across minimal ports and — once those back up — onto Valiant
+        detours. That self-spill, not cross-flow congestion, is where
+        most of adaptive routing's multipath spread comes from.
+
+        This method replays that loop in miniature: packet-sized quanta
+        are routed greedily with the packet policy's cost rule
+        (unloaded traversal time plus first-link backlog scaled by hop
+        count; Valiant inflated by ``nonminimal_weight`` and offset by
+        ``minimal_bias_ns``), charging each quantum to its winner's
+        first hop and draining every backlog at link rate for the
+        quantum's NIC serialisation time. ``load`` seeds the backlog
+        with the fabric's pending-byte ledger (cross-flow congestion);
+        load-free injections — the common case — hit a memo.
+        """
+        psize = self.packet_size
+        cost_size = size if size < psize else psize
+        quanta = -(-size // psize)
+        if quanta > SPILL_QUANTA:
+            quanta = SPILL_QUANTA
+        static = self.scoring(src_node, dst_node, cost_size)
+        if load is not None:
+            for _unl, first, _hops, _entry in static:
+                if first >= 0 and load[first] != 0.0:
+                    return self._emulate(src_node, static, quanta, load)
+        key = (src_node, dst_node, cost_size, quanta)
+        hit = self._idle_spill.get(key)
+        if hit is None:
+            hit = self._emulate(src_node, static, quanta, None)
+            self._idle_spill[key] = hit
+        return hit
+
+    def _emulate(
+        self,
+        src_node: int,
+        static: tuple[tuple[float, int, int, FlowEntry], ...],
+        quanta: int,
+        load: list[float] | None,
+    ) -> tuple[FlowEntry, ...]:
+        bw = self.bw
+        wfac = self.params.nonminimal_weight
+        bias = self.params.minimal_bias_ns
+        psize = self.packet_size
+        drain_dt = psize / bw[self.topo.terminal_in(src_node)]
+        backlog: dict[int, float] = {}
+        took = [False] * len(static)
+        for _ in range(quanta):
+            best = -1
+            best_cost = math.inf
+            for i, (unl, first, hops, entry) in enumerate(static):
+                if first < 0:
+                    cost = 0.0
+                else:
+                    q = backlog.get(first)
+                    if q is None:
+                        q = load[first] if load is not None else 0.0
+                        backlog[first] = q
+                    cost = unl + q / bw[first] * hops
+                    if entry.nonmin_fraction:
+                        cost = cost * wfac + bias
+                if cost < best_cost:
+                    best_cost = cost
+                    best = i
+            took[best] = True
+            first = static[best][1]
+            if first < 0:
+                break  # same-router: nothing ever beats the empty path
+            backlog[first] += psize
+            for lid in backlog:
+                q = backlog[lid] - drain_dt * bw[lid]
+                backlog[lid] = q if q > 0.0 else 0.0
+        return tuple(
+            row[3] for taken, row in zip(took, static) if taken
+        )
+
+    # ------------------------------------------------------------------
+    def _build(self, src_node: int, dst_node: int) -> FlowEntry:
+        topo = self.topo
+        lat = self.lat
+        src_r = topo.router_of(src_node)
+        dst_r = topo.router_of(dst_node)
+        t_in = topo.terminal_in(src_node)
+        t_out = topo.terminal_out(dst_node)
+
+        agg: dict[int, float] = {t_in: 1.0, t_out: 1.0}
+        latency = lat[t_in] + lat[t_out]
+        rr_hops = 0.0
+        minimal = self.tables.minimal(src_r, dst_r, self.params.max_minimal)
+        w = 1.0 / len(minimal)
+        for path in minimal:
+            for lid in path:
+                agg[lid] = agg.get(lid, 0.0) + w
+            latency += w * sum(lat[lid] for lid in path)
+            rr_hops += w * len(path)
+        return FlowEntry(
+            links=tuple(sorted(agg.items())),
+            latency_ns=latency,
+            rr_hops=rr_hops,
+            nonmin_fraction=0.0,
+        )
+
+    def _build_candidates(
+        self, src_node: int, dst_node: int
+    ) -> tuple[FlowCandidate, ...]:
+        topo = self.topo
+        src_r = topo.router_of(src_node)
+        dst_r = topo.router_of(dst_node)
+        t_in = topo.terminal_in(src_node)
+        t_out = topo.terminal_out(dst_node)
+
+        out: list[FlowCandidate] = []
+
+        def add(path: tuple[int, ...], nonmin: bool) -> None:
+            lat = self.lat
+            agg: dict[int, float] = {t_in: 1.0, t_out: 1.0}
+            latency = lat[t_in] + lat[t_out]
+            for lid in path:
+                agg[lid] = agg.get(lid, 0.0) + 1.0
+                latency += lat[lid]
+            entry = FlowEntry(
+                links=tuple(sorted(agg.items())),
+                latency_ns=latency,
+                rr_hops=float(len(path)),
+                nonmin_fraction=1.0 if nonmin else 0.0,
+            )
+            out.append(FlowCandidate(entry=entry, rr_path=path))
+
+        minimal = self.tables.minimal(src_r, dst_r, self.params.max_minimal)
+        for path in minimal:
+            add(path, nonmin=False)
+        # Like the packet policy, detours are only considered between
+        # distinct routers (a same-router pair has nothing to detour
+        # around).
+        if src_r != dst_r:
+            for path in self._valiant_paths(src_r, dst_r):
+                add(path, nonmin=True)
+        return tuple(out)
+
+    def _valiant_paths(
+        self, src_r: int, dst_r: int
+    ) -> tuple[tuple[int, ...], ...]:
+        """Bounded deterministic Valiant candidate set.
+
+        The packet model draws a random intermediate per packet — an
+        intermediate *group* for inter-group pairs, an intermediate
+        *router* of the source group for intra-group pairs (mirroring
+        :func:`~repro.routing.paths.valiant_route`). Here up to
+        :attr:`FlowParams.max_valiant_groups` intermediates are chosen
+        by an even stride over the candidates, with route variants
+        picked by a (src, dst)-derived index — no RNG, so the set is a
+        pure function of the endpoints.
+        """
+        topo = self.topo
+        g1 = topo.group_of_router(src_r)
+        g2 = topo.group_of_router(dst_r)
+        if g1 == g2:
+            return self._intra_valiant_paths(src_r, dst_r, g1)
+        mids = [g for g in range(topo.params.groups) if g not in (g1, g2)]
+        if not mids:
+            return ()
+        k = self.params.max_valiant_groups
+        n_mid = min(k, len(mids))
+        if n_mid == 1:
+            chosen = [mids[(src_r + dst_r) % len(mids)]]
+        else:
+            stride = {
+                round(i * (len(mids) - 1) / (n_mid - 1)) for i in range(n_mid)
+            }
+            chosen = [mids[i] for i in sorted(stride)]
+        # Fill the path budget: when there are fewer mid groups than
+        # ``k`` (small topologies), emit several head/leg/tail variants
+        # per mid so the candidate set still has the packet model's
+        # path diversity (its random draws spread over variants too).
+        per_mid = max(1, k // len(chosen))
+        tables = self.tables
+        variant = src_r + dst_r
+        seen: set[tuple[int, ...]] = set()
+        paths: list[tuple[int, ...]] = []
+        for mid in chosen:
+            heads = tables.to_group(src_r, mid)
+            for j in range(per_mid):
+                head, entry1 = heads[(variant + j) % len(heads)]
+                legs = tables.to_group(entry1, g2)
+                leg, entry2 = legs[(variant + j // len(heads)) % len(legs)]
+                tails = tables.intra(entry2, dst_r)
+                tail = tails[(variant + j) % len(tails)]
+                path = head + leg + tail
+                if path not in seen:
+                    seen.add(path)
+                    paths.append(path)
+        return tuple(paths)
+
+    def _intra_valiant_paths(
+        self, src_r: int, dst_r: int, group: int
+    ) -> tuple[tuple[int, ...], ...]:
+        """Detours through intermediate routers of the source group."""
+        per_group = self.topo.params.routers_per_group
+        base = group * per_group
+        mids = [
+            r
+            for r in range(base, base + per_group)
+            if r not in (src_r, dst_r)
+        ]
+        if not mids:
+            return ()
+        k = self.params.max_valiant_groups
+        n_mid = min(k, len(mids))
+        if n_mid == 1:
+            chosen = [mids[(src_r + dst_r) % len(mids)]]
+        else:
+            stride = {
+                round(i * (len(mids) - 1) / (n_mid - 1)) for i in range(n_mid)
+            }
+            chosen = [mids[i] for i in sorted(stride)]
+        per_mid = max(1, k // len(chosen))
+        tables = self.tables
+        variant = src_r + dst_r
+        seen: set[tuple[int, ...]] = set()
+        paths: list[tuple[int, ...]] = []
+        for mid in chosen:
+            heads = tables.intra(src_r, mid)
+            for j in range(per_mid):
+                head = heads[(variant + j) % len(heads)]
+                tails = tables.intra(mid, dst_r)
+                tail = tails[(variant + j // len(heads)) % len(tails)]
+                path = head + tail
+                if path not in seen:
+                    seen.add(path)
+                    paths.append(path)
+        return tuple(paths)
+
+
+def flow_route_model(
+    topo: Dragonfly,
+    net: NetworkParams,
+    routing: str,
+    params: FlowParams | None = None,
+) -> FlowRouteModel:
+    """Shared, memoised route model.
+
+    A :class:`FlowRouteModel` is a pure function of its arguments and
+    append-only after construction, so fabrics of different cells can
+    share one instance — the entry/candidate/spill memos then warm up
+    once per (topology, network, routing, params) instead of once per
+    run. Memo warmth never changes results, only speed.
+    """
+    key = params if params is not None else FlowParams()
+    return _shared_model(topo, net, routing, key)
+
+
+@functools.lru_cache(maxsize=16)
+def _shared_model(
+    topo: Dragonfly,
+    net: NetworkParams,
+    routing: str,
+    params: FlowParams,
+) -> FlowRouteModel:
+    return FlowRouteModel(topo, net, routing, params)

@@ -86,7 +86,10 @@ class Message:
         self.injected_time: float = -1.0
         self.delivered_time: float = -1.0
         self.arrived_bytes: int = 0
-        self.hop_sum: int = 0
+        # Router-to-router hops summed over packets. The packet
+        # fabric adds exact ints; the flow backend writes a
+        # fractional (byte-weighted) equivalent.
+        self.hop_sum: float = 0
         self.num_packets: int = 0
         self.on_injected: Callable[["Message", float], None] | None = None
         self.on_delivered: Callable[["Message", float], None] | None = None

@@ -1,0 +1,129 @@
+"""Unit tests for the cross-fidelity harness (repro.flow.fidelity)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+from repro.flow.fidelity import (
+    METRIC_KEYS,
+    SCHEMA,
+    _rel_err,
+    fidelity_report,
+    kendall_tau,
+)
+
+
+class TestKendallTau:
+    def test_identical_orderings(self):
+        assert kendall_tau([1, 2, 3, 4], [10, 20, 30, 40]) == 1.0
+
+    def test_reversed_orderings(self):
+        assert kendall_tau([1, 2, 3], [3, 2, 1]) == -1.0
+
+    def test_partial_agreement(self):
+        # One discordant pair out of three.
+        assert kendall_tau([1, 2, 3], [1, 3, 2]) == pytest.approx(1 / 3)
+
+    def test_ties_count_zero(self):
+        assert kendall_tau([1, 1], [1, 2]) == 0.0
+
+    def test_short_vectors_are_trivially_concordant(self):
+        assert kendall_tau([5], [9]) == 1.0
+        assert kendall_tau([], []) == 1.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            kendall_tau([1, 2], [1, 2, 3])
+
+
+class TestRelErr:
+    def test_signed(self):
+        assert _rel_err(2.0, 3.0) == 0.5
+        assert _rel_err(2.0, 1.0) == -0.5
+
+    def test_zero_reference_zero_value(self):
+        assert _rel_err(0.0, 0.0) == 0.0
+
+    def test_zero_reference_nonzero_value_is_undefined(self):
+        assert _rel_err(0.0, 1.0) is None
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    cfg = repro.tiny()
+    trace = repro.fill_boundary_trace(num_ranks=8, seed=3).scaled(0.05)
+    return fidelity_report(
+        cfg,
+        {"FB": trace},
+        placements=("cont", "rand"),
+        routings=("min",),
+        seed=7,
+    )
+
+
+class TestFidelityReport:
+    def test_grid_shape(self, small_report):
+        assert small_report.apps == ("FB",)
+        assert len(small_report.cells) == 2  # 2 placements x 1 routing
+        labels = {
+            (c["placement"], c["routing"]) for c in small_report.cells
+        }
+        assert labels == {("cont", "min"), ("rand", "min")}
+
+    def test_cells_carry_both_summaries_and_errors(self, small_report):
+        for cell in small_report.cells:
+            assert set(METRIC_KEYS) <= set(cell["packet"])
+            assert set(METRIC_KEYS) <= set(cell["flow"])
+            assert set(cell["rel_err"]) == set(METRIC_KEYS)
+
+    def test_rank_record_per_routing(self, small_report):
+        rec = small_report.rank["FB"]["min"]
+        assert set(rec) == {
+            "kendall_tau",
+            "top1_packet",
+            "top1_flow",
+            "top1_agree",
+        }
+        assert -1.0 <= rec["kendall_tau"] <= 1.0
+        assert rec["top1_agree"] == (
+            rec["top1_packet"] == rec["top1_flow"]
+        )
+
+    def test_wall_clock_is_measured(self, small_report):
+        assert small_report.packet_wall_s > 0.0
+        assert small_report.flow_wall_s > 0.0
+        assert small_report.speedup > 0.0
+
+    def test_metric_errors_are_absolute(self, small_report):
+        for err in small_report.metric_errors().values():
+            assert err["max_abs"] >= err["mean_abs"] >= 0.0
+
+    def test_json_export_schema(self, small_report, tmp_path):
+        path = tmp_path / "fidelity.json"
+        small_report.save_json(path)
+        data = json.loads(path.read_text())
+        assert data["schema"] == SCHEMA == "repro-fidelity/v1"
+        for key in (
+            "apps",
+            "placements",
+            "routings",
+            "cells",
+            "rank",
+            "metric_errors",
+            "packet_wall_s",
+            "flow_wall_s",
+            "speedup",
+            "top1_agreement",
+        ):
+            assert key in data
+        assert data["top1_agreement"] == small_report.top1_agreement()
+        assert len(data["cells"]) == 2
+
+    def test_format_table_mentions_agreement(self, small_report):
+        table = small_report.format_table()
+        assert "flow-vs-packet fidelity" in table
+        assert "FB min" in table
+        assert "speedup" in table

@@ -1,0 +1,237 @@
+"""Unit tests for the flow backend's static route/weight model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+import repro
+from repro.flow.routes import (
+    BACKEND_NAMES,
+    FlowParams,
+    FlowRouteModel,
+    SPILL_QUANTA,
+    flow_route_model,
+)
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return repro.Dragonfly(repro.tiny().topology)
+
+
+@pytest.fixture(scope="module")
+def net():
+    return repro.tiny().network
+
+
+@pytest.fixture(scope="module")
+def model(topo, net):
+    return FlowRouteModel(topo, net, "min")
+
+
+@pytest.fixture(scope="module")
+def adp_model(topo, net):
+    return FlowRouteModel(topo, net, "adp")
+
+
+def _pairs(topo):
+    """One representative (src, dst) node pair per locality class."""
+    same_router = inter_group = intra_group = None
+    for src in range(topo.num_nodes):
+        for dst in range(topo.num_nodes):
+            if src == dst:
+                continue
+            sr, dr = topo.router_of(src), topo.router_of(dst)
+            if sr == dr and same_router is None:
+                same_router = (src, dst)
+            elif sr != dr:
+                sg = topo.group_of_router(sr)
+                dg = topo.group_of_router(dr)
+                if sg == dg and intra_group is None:
+                    intra_group = (src, dst)
+                elif sg != dg and inter_group is None:
+                    inter_group = (src, dst)
+    assert same_router and intra_group and inter_group
+    return same_router, intra_group, inter_group
+
+
+class TestFlowParams:
+    def test_defaults_valid(self):
+        FlowParams()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"epoch_ns": -1.0},
+            {"max_minimal": 0},
+            {"max_valiant_groups": 0},
+            {"minimal_bias_ns": -5.0},
+            {"nonminimal_weight": 0.5},
+        ],
+    )
+    def test_invalid_fields_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            FlowParams(**kwargs)
+
+    def test_backend_names(self):
+        assert BACKEND_NAMES == ("packet", "flow")
+
+
+class TestMinimalEntries:
+    def test_unknown_routing_rejected(self, topo, net):
+        with pytest.raises(ValueError, match="routing"):
+            FlowRouteModel(topo, net, "valiant")
+
+    def test_terminals_carry_every_byte(self, model, topo):
+        for src, dst in _pairs(topo):
+            entry = model.entry(src, dst)
+            weights = dict(entry.links)
+            assert weights[topo.terminal_in(src)] == 1.0
+            assert weights[topo.terminal_out(dst)] == 1.0
+
+    def test_rr_weights_sum_to_weighted_hops(self, model, topo):
+        """Σ weight over router links == expected path length."""
+        for src, dst in _pairs(topo):
+            entry = model.entry(src, dst)
+            t_in = topo.terminal_in(src)
+            t_out = topo.terminal_out(dst)
+            rr_weight = sum(
+                w for lid, w in entry.links if lid not in (t_in, t_out)
+            )
+            assert math.isclose(rr_weight, entry.rr_hops, rel_tol=1e-12)
+
+    def test_same_router_pair_is_terminals_only(self, model, topo):
+        (src, dst), _, _ = _pairs(topo)
+        entry = model.entry(src, dst)
+        assert entry.rr_hops == 0.0
+        assert len(entry.links) == 2
+        assert entry.nonmin_fraction == 0.0
+
+    def test_entries_are_memoised(self, model, topo):
+        _, _, (src, dst) = _pairs(topo)
+        assert model.entry(src, dst) is model.entry(src, dst)
+
+    def test_minimal_entries_are_never_nonminimal(self, model, topo):
+        for src, dst in _pairs(topo):
+            assert model.entry(src, dst).nonmin_fraction == 0.0
+
+
+class TestAdaptiveCandidates:
+    def test_minimal_first_then_valiant(self, adp_model, topo):
+        _, _, (src, dst) = _pairs(topo)
+        cands = adp_model.candidates(src, dst)
+        flags = [c.entry.nonmin_fraction for c in cands]
+        # Minimal candidates (0.0) strictly precede Valiant ones (1.0).
+        assert flags == sorted(flags)
+        assert 0.0 in flags and 1.0 in flags
+
+    def test_same_router_pair_has_no_detours(self, adp_model, topo):
+        (src, dst), _, _ = _pairs(topo)
+        cands = adp_model.candidates(src, dst)
+        assert all(c.entry.nonmin_fraction == 0.0 for c in cands)
+        assert all(c.rr_path == () for c in cands)
+
+    def test_intra_group_detours_exist(self, adp_model, topo):
+        _, (src, dst), _ = _pairs(topo)
+        nonmin = [
+            c for c in adp_model.candidates(src, dst)
+            if c.entry.nonmin_fraction
+        ]
+        assert nonmin, "intra-group pairs must offer router detours"
+
+    def test_valiant_paths_are_longer(self, adp_model, topo):
+        _, _, (src, dst) = _pairs(topo)
+        cands = adp_model.candidates(src, dst)
+        min_len = min(
+            len(c.rr_path) for c in cands if not c.entry.nonmin_fraction
+        )
+        for c in cands:
+            if c.entry.nonmin_fraction:
+                assert len(c.rr_path) > min_len
+
+    def test_candidate_paths_are_distinct(self, adp_model, topo):
+        for src, dst in _pairs(topo):
+            paths = [c.rr_path for c in adp_model.candidates(src, dst)]
+            assert len(paths) == len(set(paths))
+
+    def test_candidates_are_memoised(self, adp_model, topo):
+        _, (src, dst), _ = _pairs(topo)
+        assert (
+            adp_model.candidates(src, dst)
+            is adp_model.candidates(src, dst)
+        )
+
+
+class TestSpill:
+    def test_single_packet_stays_minimal(self, adp_model, net, topo):
+        """One quantum never builds backlog, so no detour is taken."""
+        for src, dst in _pairs(topo):
+            entries = adp_model.spill(src, dst, net.packet_size, None)
+            assert len(entries) == 1
+            assert entries[0].nonmin_fraction == 0.0
+
+    def test_long_message_spills_to_valiant(self, adp_model, net, topo):
+        """A message far larger than a packet backs up its minimal
+        first hops (the NIC feeds faster than one port drains) until
+        the UGAL rule starts taking detours."""
+        _, _, (src, dst) = _pairs(topo)
+        size = net.packet_size * SPILL_QUANTA
+        entries = adp_model.spill(src, dst, size, None)
+        assert len(entries) > 1
+        assert any(e.nonmin_fraction for e in entries)
+
+    def test_idle_spill_is_memoised(self, adp_model, net, topo):
+        _, _, (src, dst) = _pairs(topo)
+        size = net.packet_size * 8
+        assert adp_model.spill(src, dst, size, None) is adp_model.spill(
+            src, dst, size, None
+        )
+
+    def test_zero_load_ledger_matches_idle_path(self, adp_model, net, topo):
+        """An all-zeros ledger must give the idle (memoised) answer."""
+        _, _, (src, dst) = _pairs(topo)
+        size = net.packet_size * 8
+        zeros = [0.0] * topo.num_links
+        assert adp_model.spill(src, dst, size, zeros) == adp_model.spill(
+            src, dst, size, None
+        )
+
+    def test_loaded_first_hop_diverts_earlier(self, adp_model, net, topo):
+        """Pre-existing backlog on the minimal first hops lowers the
+        detour threshold: the loaded spill takes at least as many
+        non-minimal candidates as the idle one."""
+        _, _, (src, dst) = _pairs(topo)
+        size = net.packet_size * 4
+        idle = adp_model.spill(src, dst, size, None)
+        load = [0.0] * topo.num_links
+        for cand in adp_model.candidates(src, dst):
+            if cand.rr_path and not cand.entry.nonmin_fraction:
+                load[cand.rr_path[0]] += 64 * net.packet_size
+        loaded = adp_model.spill(src, dst, size, load)
+        n_idle = sum(1 for e in idle if e.nonmin_fraction)
+        n_loaded = sum(1 for e in loaded if e.nonmin_fraction)
+        assert n_loaded >= max(n_idle, 1)
+
+
+class TestSharedModel:
+    def test_same_arguments_share_an_instance(self, topo, net):
+        a = flow_route_model(topo, net, "min")
+        b = flow_route_model(topo, net, "min")
+        assert a is b
+
+    def test_routing_splits_instances(self, topo, net):
+        assert flow_route_model(topo, net, "min") is not flow_route_model(
+            topo, net, "adp"
+        )
+
+    def test_params_split_instances(self, topo, net):
+        assert flow_route_model(
+            topo, net, "min", FlowParams(epoch_ns=100.0)
+        ) is not flow_route_model(topo, net, "min")
+
+    def test_default_params_normalise(self, topo, net):
+        assert flow_route_model(topo, net, "min") is flow_route_model(
+            topo, net, "min", FlowParams()
+        )

@@ -29,24 +29,24 @@ class TestCacheVersioning:
         """Entries cached under an older salt must never be served.
 
         Each salt bump marks a change to what a cached ``RunResult``
-        carries (v2: obs schema; v3: fault telemetry in ``extra``); a
-        warm cache directory from an older salt has to behave as fully
-        cold.
+        carries (v2: obs schema; v3: fault telemetry in ``extra``;
+        v4: backend field on specs/results); a warm cache directory
+        from an older salt has to behave as fully cold.
         """
-        assert plan_mod.CODE_SALT == "repro-exec/v3"
+        assert plan_mod.CODE_SALT == "repro-exec/v4"
         cache = ResultCache(tmp_path)
 
-        monkeypatch.setattr(plan_mod, "CODE_SALT", "repro-exec/v2")
+        monkeypatch.setattr(plan_mod, "CODE_SALT", "repro-exec/v3")
         old_keys = make_plan().keys()
-        report_v2 = execute_plan(make_plan(), cache=cache)
-        assert report_v2.done == 1 and report_v2.cached == 0
+        report_v3 = execute_plan(make_plan(), cache=cache)
+        assert report_v3.done == 1 and report_v3.cached == 0
 
         monkeypatch.undo()
         new_keys = make_plan().keys()
         assert set(old_keys).isdisjoint(new_keys)
-        report_v3 = execute_plan(make_plan(), cache=cache)
-        assert report_v3.done == 1 and report_v3.cached == 0
-        # And the v3 entry now hits under the v3 salt.
+        report_v4 = execute_plan(make_plan(), cache=cache)
+        assert report_v4.done == 1 and report_v4.cached == 0
+        # And the v4 entry now hits under the v4 salt.
         assert execute_plan(make_plan(), cache=cache).cached == 1
 
     def test_obs_config_is_part_of_cell_identity(self):
