@@ -1,0 +1,206 @@
+"""Cluster-stream engine throughput benchmark (the repro.cluster gate).
+
+Times one seeded tiny-preset stream — default CR/FB/AMG mix on the
+flow backend — twice per repeat: cold (fresh cache directory, every
+epoch cell simulated) and warm (same directory, every cell a cache
+hit). Reports epochs per second for both phases, the warm-over-cold
+speedup, and the warm cache hit rate. The warm phase is the
+correctness-adjacent number: a hit rate below 1.0 means epoch-cell
+identity broke and warm re-runs are silently re-simulating.
+
+Usage::
+
+    python benchmarks/bench_cluster.py                   # full run
+    python benchmarks/bench_cluster.py --quick           # CI smoke
+    python benchmarks/bench_cluster.py --out BENCH.json
+    python benchmarks/bench_cluster.py --quick \\
+        --compare BENCH_cluster.json --max-regression 0.25
+
+``--compare`` exits non-zero when cold epochs/s fall more than
+``--max-regression`` below the reference file or the warm cache hit
+rate drops under 1.0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import repro
+from repro.cluster import run_stream
+
+#: Versioned result-file schema.
+SCHEMA = "repro-bench-cluster/v1"
+
+#: One simulated hour at moderate load: ~8 jobs, ~16 epochs, ~22
+#: cells on the tiny machine — long enough that the epoch loop (not
+#: interpreter startup) dominates, short enough to repeat.
+SCENARIO = {
+    "preset": "tiny",
+    "mix": "AMG=1,CR=1,FB=1",
+    "duration_s": 3600.0,
+    "load": 0.6,
+    "policy": "cont",
+    "routing": "adp",
+    "backend": "flow",
+    "seed": 7,
+}
+
+
+def _stream_once(cache_dir: str) -> tuple[float, dict]:
+    """One full stream against ``cache_dir``; returns (wall, counters)."""
+    cfg = repro.tiny()
+    t0 = time.perf_counter()
+    res = run_stream(
+        cfg,
+        mix=SCENARIO["mix"],
+        duration_s=SCENARIO["duration_s"],
+        load=SCENARIO["load"],
+        policy=SCENARIO["policy"],
+        routing=SCENARIO["routing"],
+        backend=SCENARIO["backend"],
+        seed=SCENARIO["seed"],
+        cache=cache_dir,
+    )
+    return time.perf_counter() - t0, dict(res.counters)
+
+
+def bench(repeats: int) -> dict:
+    """Time cold+warm phases per repeat; return the result doc."""
+    phases: dict[str, list[float]] = {"cold": [], "warm": []}
+    counters: dict[str, dict] = {}
+    for rep in range(repeats):
+        with tempfile.TemporaryDirectory(prefix="bench-cluster-") as tmp:
+            for phase in ("cold", "warm"):
+                wall, c = _stream_once(tmp)
+                phases[phase].append(wall)
+                counters[phase] = c
+                print(
+                    f"rep {rep + 1}/{repeats} {phase:>4}: {wall:.3f}s "
+                    f"({c['cells_simulated']} simulated, "
+                    f"{c['cells_cached']} cached)",
+                    file=sys.stderr,
+                )
+    configs = {}
+    for phase, walls in phases.items():
+        mean = statistics.mean(walls)
+        c = counters[phase]
+        configs[phase] = {
+            "mean_s": round(mean, 4),
+            "stdev_s": round(
+                statistics.stdev(walls) if len(walls) > 1 else 0.0, 4
+            ),
+            "min_s": round(min(walls), 4),
+            "repeats": repeats,
+            "epochs": c["epochs"],
+            "cells_planned": c["cells_planned"],
+            "cells_simulated": c["cells_simulated"],
+            "cells_cached": c["cells_cached"],
+            "epochs_per_s": round(c["epochs"] / mean, 2),
+        }
+    warm = counters["warm"]
+    hit_rate = (
+        warm["cells_cached"] / warm["cells_planned"]
+        if warm["cells_planned"]
+        else 0.0
+    )
+    speedup = configs["cold"]["mean_s"] / configs["warm"]["mean_s"]
+    print(
+        f"warm cache hit rate {hit_rate:.2f}, "
+        f"warm speedup {speedup:.1f}x",
+        file=sys.stderr,
+    )
+    return {
+        "schema": SCHEMA,
+        "scenario": SCENARIO,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "configs": configs,
+        "warm_cache_hit_rate": round(hit_rate, 4),
+        "warm_speedup": round(speedup, 2),
+    }
+
+
+def compare(doc: dict, ref_path: Path, max_regression: float) -> int:
+    """Gate ``doc`` against a reference file; returns the exit code."""
+    ref = json.loads(ref_path.read_text())
+    baseline = ref.get("after", ref)  # PR files keep before/after blocks
+    if baseline.get("schema") != SCHEMA:
+        print(f"schema mismatch in {ref_path}, skipping gate", file=sys.stderr)
+        return 0
+    failed = False
+    for phase, cfg in baseline["configs"].items():
+        cur = doc["configs"].get(phase)
+        if cur is None:
+            print(f"MISSING  {phase}: not measured", file=sys.stderr)
+            failed = True
+            continue
+        ratio = cur["epochs_per_s"] / cfg["epochs_per_s"]
+        status = "OK" if ratio >= 1.0 - max_regression else "REGRESSED"
+        print(
+            f"{status:>9}  {phase}: {cur['epochs_per_s']:,} epochs/s vs "
+            f"reference {cfg['epochs_per_s']:,} ({ratio:.2f}x)",
+            file=sys.stderr,
+        )
+        if status != "OK":
+            failed = True
+    status = "OK" if doc["warm_cache_hit_rate"] >= 1.0 else "BROKEN"
+    print(
+        f"{status:>9}  warm cache hit rate: "
+        f"{doc['warm_cache_hit_rate']:.2f} (floor 1.00)",
+        file=sys.stderr,
+    )
+    if status != "OK":
+        failed = True
+    return 1 if failed else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="cold+warm pairs to time"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="2 repeats (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="JSON", help="write results to file"
+    )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="JSON",
+        help="reference BENCH_cluster.json to gate epochs/s against",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="tolerated fractional epochs/s drop vs reference (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    repeats = 2 if args.quick else args.repeats
+    doc = bench(repeats=repeats)
+
+    if args.out:
+        Path(args.out).write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(json.dumps(doc, indent=2))
+
+    if args.compare:
+        return compare(doc, Path(args.compare), args.max_regression)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

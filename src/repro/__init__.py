@@ -85,6 +85,15 @@ from repro.flow import (
     FlowParams,
     fidelity_report,
 )
+from repro.cluster import (
+    ClusterScheduler,
+    EpochSpec,
+    StreamJob,
+    StreamResult,
+    WorkloadMix,
+    generate_stream,
+    run_stream,
+)
 
 __version__ = "1.0.0"
 
@@ -153,5 +162,12 @@ __all__ = [
     "FlowFabric",
     "FlowParams",
     "fidelity_report",
+    "ClusterScheduler",
+    "EpochSpec",
+    "StreamJob",
+    "StreamResult",
+    "WorkloadMix",
+    "generate_stream",
+    "run_stream",
     "__version__",
 ]

@@ -9,6 +9,8 @@ Commands mirror the paper's three analysis steps plus utilities:
 * ``fidelity``     — flow-vs-packet cross-fidelity check (repro.flow)
 * ``replay``       — replay a repro-dumpi trace file
 * ``characterize`` — print an app's communication matrix summary (Fig 2)
+* ``cluster-stream`` — online cluster scenario: seeded job stream,
+  FCFS(+backfill) scheduling, epoch-cached interference (repro.cluster)
 * ``nomenclature`` — print Table I
 
 Fault injection (DESIGN.md §S15) is available on every simulating
@@ -38,6 +40,7 @@ from repro.core.report import (
     nomenclature_table,
 )
 from repro.core.sensitivity import PAPER_SCALES, sensitivity_sweep
+from repro.cluster.scheduler import SCHED_POLICIES
 from repro.core.study import TradeoffStudy
 from repro.core.runner import run_single
 from repro.engine.queues import SCHEDULER_NAMES
@@ -302,6 +305,61 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_common(p_adv)
 
+    p_cs = sub.add_parser(
+        "cluster-stream",
+        help="online cluster scenario over simulated hours (repro.cluster)",
+    )
+    p_cs.add_argument(
+        "--preset", choices=sorted(_PRESETS), default="tiny",
+        help="machine preset (default: tiny)",
+    )
+    p_cs.add_argument("--seed", type=int, default=0)
+    p_cs.add_argument(
+        "--duration", type=float, default=2.0, metavar="HOURS",
+        help="simulated arrival window in hours (default: 2); the "
+        "stream drains after arrivals stop",
+    )
+    p_cs.add_argument(
+        "--load", type=float, default=0.6,
+        help="offered machine utilisation in [0,~1] (default: 0.6)",
+    )
+    p_cs.add_argument(
+        "--mix", default="AMG=1,CR=1,FB=1", metavar="APP=W,...",
+        help="workload mix with arrival weights (default: AMG=1,CR=1,FB=1)",
+    )
+    p_cs.add_argument(
+        "--policy", choices=SCHED_POLICIES, default="cont",
+        help="placement policy per job, or 'advisor' to consult "
+        "repro.core.advisor per job (default: cont)",
+    )
+    p_cs.add_argument(
+        "--routing", choices=("min", "adp"), default="adp",
+        help="stream-wide routing policy (default: adp)",
+    )
+    p_cs.add_argument(
+        "--backend", choices=BACKEND_NAMES, default="flow",
+        help="network model for epoch cells (default: flow)",
+    )
+    p_cs.add_argument(
+        "--backfill", action="store_true",
+        help="let later queued jobs start when the head does not fit",
+    )
+    p_cs.add_argument(
+        "--validate-every", type=int, default=0, metavar="K",
+        help="spot-check every K-th flow epoch on the packet backend "
+        "(0 = off)",
+    )
+    p_cs.add_argument("--workers", type=int, default=1)
+    p_cs.add_argument("--cache-dir", default=None, metavar="DIR")
+    p_cs.add_argument("--progress", action="store_true")
+    p_cs.add_argument("--faults", default=None, metavar="PLAN.json")
+    p_cs.add_argument("--fault-rate", type=float, default=0.0, metavar="R")
+    p_cs.add_argument("--fault-seed", type=int, default=0)
+    p_cs.add_argument(
+        "--out", default=None, metavar="PATH.json",
+        help="write the repro-cluster-stream/v1 document as JSON",
+    )
+
     sub.add_parser("nomenclature", help="print Table I")
 
     args = parser.parse_args(argv)
@@ -312,7 +370,12 @@ def main(argv: list[str] | None = None) -> int:
 
     config = _PRESETS[args.preset]().with_seed(args.seed)
 
-    if getattr(args, "backend", "packet") == "flow":
+    if (
+        getattr(args, "backend", "packet") == "flow"
+        and args.command != "cluster-stream"
+    ):
+        # cluster-stream is exempt: it supports router-fault fencing on
+        # the flow backend (run_stream validates the rest itself).
         if args.obs or args.obs_out:
             parser.error("--backend flow does not support --obs telemetry")
         if args.faults or args.fault_rate > 0.0:
@@ -458,6 +521,34 @@ def main(argv: list[str] | None = None) -> int:
                 out = out / f"{trace.name}-{args.placement}-{args.routing}.{args.obs_format}"
             obs_export(result.obs, out)
             print(f"obs: wrote telemetry to {out}", file=sys.stderr)
+        return 0
+
+    if args.command == "cluster-stream":
+        from repro.cluster import run_stream, save_json
+
+        try:
+            res = run_stream(
+                config,
+                mix=args.mix,
+                duration_s=args.duration * 3600.0,
+                load=args.load,
+                policy=args.policy,
+                routing=args.routing,
+                backend=args.backend,
+                seed=args.seed,
+                backfill=args.backfill,
+                max_workers=args.workers,
+                cache=args.cache_dir,
+                progress=TextReporter() if args.progress else None,
+                validate_every=args.validate_every,
+                faults=_fault_plan(args, config),
+            )
+        except ValueError as exc:
+            parser.error(str(exc))
+        print(res.summary())
+        if args.out is not None:
+            save_json(res, args.out)
+            print(f"wrote {args.out}", file=sys.stderr)
         return 0
 
     if args.command == "advise":

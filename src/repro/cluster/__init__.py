@@ -1,0 +1,64 @@
+"""repro.cluster — online cluster scenarios over the dragonfly models.
+
+Seeded job streams (:mod:`~repro.cluster.workload`), an FCFS+backfill
+scheduler with advisor-driven placement
+(:mod:`~repro.cluster.scheduler`), an epoch-based stream engine that
+evaluates every co-schedule as a cached :mod:`repro.exec` cell
+(:mod:`~repro.cluster.engine`), interference/utilisation accounting
+(:mod:`~repro.cluster.accounting`), and the
+``repro-cluster-stream/v1`` JSON export
+(:mod:`~repro.cluster.export`). See DESIGN.md §S17.
+"""
+
+from repro.cluster.accounting import (
+    EpochRecord,
+    JobRecord,
+    StreamResult,
+    ValidationRecord,
+    fragmentation_index,
+    interference_matrix,
+    utilization_timeline,
+)
+from repro.cluster.engine import (
+    EpochSpec,
+    merge_epoch_trace,
+    run_stream,
+    simulate_epoch,
+)
+from repro.cluster.export import save_json, to_doc
+from repro.cluster.scheduler import (
+    ADVISOR_POLICY,
+    SCHED_POLICIES,
+    ClusterScheduler,
+)
+from repro.cluster.workload import (
+    JobClass,
+    StreamJob,
+    WorkloadMix,
+    default_mix,
+    generate_stream,
+)
+
+__all__ = [
+    "ADVISOR_POLICY",
+    "ClusterScheduler",
+    "EpochRecord",
+    "EpochSpec",
+    "JobClass",
+    "JobRecord",
+    "SCHED_POLICIES",
+    "StreamJob",
+    "StreamResult",
+    "ValidationRecord",
+    "WorkloadMix",
+    "default_mix",
+    "fragmentation_index",
+    "generate_stream",
+    "interference_matrix",
+    "merge_epoch_trace",
+    "run_stream",
+    "save_json",
+    "simulate_epoch",
+    "to_doc",
+    "utilization_timeline",
+]

@@ -1,0 +1,378 @@
+"""Stream accounting: per-job, per-epoch, and whole-machine metrics.
+
+The engine (:mod:`repro.cluster.engine`) emits raw records —
+:class:`JobRecord` per submission, :class:`EpochRecord` per co-schedule
+change, :class:`ValidationRecord` per packet spot-check — and bundles
+them into a :class:`StreamResult`. This module also derives the
+aggregate views the study reads: scheduling quality (wait, stretch),
+interference (work-weighted slowdowns, class-pair matrices), and
+machine health (utilisation timelines, fragmentation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "EpochRecord",
+    "JobRecord",
+    "StreamResult",
+    "ValidationRecord",
+    "fragmentation_index",
+    "interference_matrix",
+    "utilization_timeline",
+]
+
+
+@dataclass
+class JobRecord:
+    """Lifecycle and outcome of one stream submission.
+
+    Times are simulated seconds. ``work_s`` is the job's total isolated
+    work (iterations x isolated block makespan), fixed once its
+    baseline cell has run; ``slow_work_s`` accumulates the wall-clock
+    simulated seconds the job actually spent on that work, so
+    ``mean_slowdown`` is the work-weighted average interference
+    slowdown over every epoch the job lived through.
+    """
+
+    id: int
+    name: str
+    app: str
+    ranks: int
+    arrival_s: float
+    status: str = "queued"  # queued | running | completed | rejected
+    start_s: float = math.nan
+    finish_s: float = math.nan
+    placement: str = ""
+    nodes: tuple[int, ...] = ()
+    service_s: float = 0.0
+    iterations: int = 0
+    iso_finish_ns: float = math.nan
+    work_s: float = math.nan
+    slow_work_s: float = 0.0
+    avg_hops: float = math.nan
+    bytes_sent: int = 0
+    epochs: int = 0
+
+    @property
+    def wait_s(self) -> float:
+        """Queue wait: start minus arrival (NaN while queued)."""
+        return self.start_s - self.arrival_s
+
+    @property
+    def response_s(self) -> float:
+        return self.finish_s - self.arrival_s
+
+    @property
+    def stretch(self) -> float:
+        """Response time over isolated work (>= 1 for completed jobs)."""
+        if not self.work_s or math.isnan(self.work_s):
+            return math.nan
+        return self.response_s / self.work_s
+
+    @property
+    def mean_slowdown(self) -> float:
+        """Work-weighted interference slowdown across the job's epochs."""
+        if not self.work_s or math.isnan(self.work_s):
+            return math.nan
+        done = self.work_s if self.status == "completed" else None
+        if done is None:
+            return math.nan
+        return self.slow_work_s / done
+
+
+@dataclass
+class EpochRecord:
+    """One interval during which the co-scheduled job set was constant."""
+
+    index: int
+    t0_s: float
+    t1_s: float = math.nan
+    job_ids: tuple[int, ...] = ()
+    apps: tuple[str, ...] = ()
+    key: str = ""  # exec-cache key of the epoch cell ("" when idle)
+    status: str = "empty"  # done | cached | empty
+    sim_wall_s: float = 0.0
+    busy_nodes: int = 0
+    slowdowns: dict[int, float] = field(default_factory=dict)
+    #: Hottest single link in the epoch cell: most bytes carried and
+    #: longest shared-capacity (>= 2 flows) time. The localisation
+    #: trade-off lives here — contiguous placement concentrates an
+    #: epoch's traffic onto few links, balancing spreads it thin.
+    peak_link_bytes: int = 0
+    peak_link_sat_ns: float = 0.0
+    #: Simulated makespan of the epoch's merged block (ns); normalises
+    #: the saturation time into a contention duty cycle.
+    makespan_ns: float = 0.0
+
+    @property
+    def duration_s(self) -> float:
+        return self.t1_s - self.t0_s
+
+    @property
+    def peak_link_sat_frac(self) -> float:
+        """Share of the epoch block the hottest link spent oversubscribed."""
+        if self.makespan_ns <= 0:
+            return 0.0
+        return min(self.peak_link_sat_ns / self.makespan_ns, 1.0)
+
+
+@dataclass
+class ValidationRecord:
+    """One packet-backend spot-check of a flow epoch cell."""
+
+    epoch_index: int
+    flow_key: str
+    packet_key: str
+    rel_err: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def max_rel_err(self) -> float:
+        return max(self.rel_err.values()) if self.rel_err else math.nan
+
+
+@dataclass
+class StreamResult:
+    """Everything one :func:`~repro.cluster.engine.run_stream` produced."""
+
+    mix: str
+    policy: str
+    routing: str
+    backend: str
+    seed: int
+    duration_s: float
+    load: float
+    num_nodes: int
+    jobs: list[JobRecord] = field(default_factory=list)
+    epochs: list[EpochRecord] = field(default_factory=list)
+    validations: list[ValidationRecord] = field(default_factory=list)
+    frag_samples: list[tuple[float, float]] = field(default_factory=list)
+    counters: dict[str, int] = field(default_factory=dict)
+    wall_s: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    # ---------------------------------------------------------------- views
+    def by_status(self, status: str) -> list[JobRecord]:
+        return [j for j in self.jobs if j.status == status]
+
+    @property
+    def completed(self) -> list[JobRecord]:
+        return self.by_status("completed")
+
+    @property
+    def makespan_s(self) -> float:
+        ends = [j.finish_s for j in self.completed]
+        return max(ends) if ends else 0.0
+
+    def heavy_jobs(self, quantile: float = 0.75) -> list[JobRecord]:
+        """Completed jobs in the top ``1 - quantile`` by sent bytes."""
+        done = self.completed
+        if not done:
+            return []
+        cut = float(np.quantile([j.bytes_sent for j in done], quantile))
+        return [j for j in done if j.bytes_sent >= cut]
+
+    def heavy_epoch_peaks(self, quantile: float = 0.75) -> dict[str, float]:
+        """Peak-link pressure during epochs a heavy job lived through.
+
+        Duration-weighted mean and overall max of the per-epoch hottest
+        link (bytes carried; shared-capacity saturation time; saturation
+        as a fraction of the epoch block's makespan) over every closed
+        epoch containing at least one heavy job. ``mean_sat_frac`` is
+        the balancing half of the paper's trade-off at stream scale:
+        contiguous placement piles an epoch's traffic — and the
+        contention it causes — onto the few links of its partition, so
+        its hottest link spends a larger share of the block
+        oversubscribed; random placement spreads the same bytes so no
+        single link stays contended for long (at the price of the longer
+        routes the hop count records).
+        """
+        heavy = {j.id for j in self.heavy_jobs(quantile)}
+        acc_b = acc_s = acc_f = wgt = 0.0
+        max_b = 0
+        max_s = max_f = 0.0
+        for e in self.epochs:
+            if math.isnan(e.t1_s) or e.t1_s <= e.t0_s:
+                continue
+            if not heavy & set(e.job_ids):
+                continue
+            d = e.t1_s - e.t0_s
+            acc_b += e.peak_link_bytes * d
+            acc_s += e.peak_link_sat_ns * d
+            acc_f += e.peak_link_sat_frac * d
+            wgt += d
+            max_b = max(max_b, e.peak_link_bytes)
+            max_s = max(max_s, e.peak_link_sat_ns)
+            max_f = max(max_f, e.peak_link_sat_frac)
+        if wgt <= 0:
+            return {
+                "mean_bytes": math.nan,
+                "max_bytes": 0.0,
+                "mean_sat_ms": math.nan,
+                "max_sat_ms": 0.0,
+                "mean_sat_frac": math.nan,
+                "max_sat_frac": 0.0,
+            }
+        return {
+            "mean_bytes": acc_b / wgt,
+            "max_bytes": float(max_b),
+            "mean_sat_ms": acc_s / wgt / 1e6,
+            "max_sat_ms": max_s / 1e6,
+            "mean_sat_frac": acc_f / wgt,
+            "max_sat_frac": max_f,
+        }
+
+    # ----------------------------------------------------------- invariants
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` on any bookkeeping violation.
+
+        * conservation: submitted = completed + running + queued +
+          rejected;
+        * causality: arrival <= start <= finish for every started job;
+        * exclusivity: within every epoch the live jobs' node sets are
+          pairwise disjoint.
+        """
+        counts = {
+            s: len(self.by_status(s))
+            for s in ("completed", "running", "queued", "rejected")
+        }
+        total = sum(counts.values())
+        if total != len(self.jobs):
+            raise AssertionError(
+                f"conservation violated: {counts} vs {len(self.jobs)} submitted"
+            )
+        by_id = {j.id: j for j in self.jobs}
+        for j in self.jobs:
+            if j.status in ("completed", "running"):
+                if not j.start_s >= j.arrival_s:
+                    raise AssertionError(f"{j.name}: started before arrival")
+            if j.status == "completed" and not j.finish_s >= j.start_s:
+                raise AssertionError(f"{j.name}: finished before start")
+        for e in self.epochs:
+            seen: set[int] = set()
+            for jid in e.job_ids:
+                nodes = set(by_id[jid].nodes)
+                if seen & nodes:
+                    raise AssertionError(
+                        f"epoch {e.index}: overlapping allocations "
+                        f"{sorted(seen & nodes)[:5]}"
+                    )
+                seen |= nodes
+
+    # ------------------------------------------------------------- summary
+    def summary(self) -> str:
+        done = self.completed
+        lines = [
+            f"stream: mix={self.mix} policy={self.policy} "
+            f"routing={self.routing} backend={self.backend} seed={self.seed}",
+            f"submitted {len(self.jobs)}  completed {len(done)}  "
+            f"running {len(self.by_status('running'))}  "
+            f"queued {len(self.by_status('queued'))}  "
+            f"rejected {len(self.by_status('rejected'))}",
+        ]
+        c = self.counters
+        lines.append(
+            f"epochs {c.get('epochs', 0)} "
+            f"(cells: {c.get('cells_simulated', 0)} simulated, "
+            f"{c.get('cells_cached', 0)} cached)  wall {self.wall_s:.1f}s"
+        )
+        if done:
+            waits = np.array([j.wait_s for j in done])
+            stretch = np.array([j.stretch for j in done])
+            slow = np.array([j.mean_slowdown for j in done])
+            hops = np.array([j.avg_hops for j in done])
+            lines.append(
+                f"wait mean {waits.mean():.1f}s p95 "
+                f"{np.percentile(waits, 95):.1f}s | stretch median "
+                f"{np.median(stretch):.2f} | slowdown mean {slow.mean():.3f} "
+                f"p95 {np.percentile(slow, 95):.3f} | hops mean {hops.mean():.3f}"
+            )
+            heavy = self.heavy_jobs()
+            if heavy:
+                hs = np.array([j.mean_slowdown for j in heavy])
+                peaks = self.heavy_epoch_peaks()
+                lines.append(
+                    f"heavy jobs ({len(heavy)}): slowdown mean {hs.mean():.3f} "
+                    f"p95 {np.percentile(hs, 95):.3f} | peak-link "
+                    f"{peaks['mean_bytes'] / 1e6:.2f} MB, "
+                    f"saturated {peaks['mean_sat_frac']:.0%} of the time "
+                    f"(max {peaks['max_sat_frac']:.0%})"
+                )
+        if self.validations:
+            errs = [v.max_rel_err for v in self.validations]
+            lines.append(
+                f"packet spot-checks: {len(errs)} epochs, "
+                f"max rel err {max(errs):.3f}"
+            )
+        return "\n".join(lines)
+
+
+def fragmentation_index(free_nodes: list[int]) -> float:
+    """How shattered the free pool is, in ``[0, 1)``.
+
+    ``1 - (longest contiguous free run) / (free nodes)``: 0 when all
+    free nodes form one contiguous block (or none are free), approaching
+    1 as the pool splinters into single nodes. Node ids are the
+    machine's natural locality order, so contiguity here is the same
+    contiguity the ``cont`` placement policy exploits.
+    """
+    if not free_nodes:
+        return 0.0
+    nodes = sorted(free_nodes)
+    best = run = 1
+    for a, b in zip(nodes, nodes[1:]):
+        run = run + 1 if b == a + 1 else 1
+        best = max(best, run)
+    return 1.0 - best / len(nodes)
+
+
+def utilization_timeline(
+    result: StreamResult,
+) -> list[tuple[float, float, float]]:
+    """Per-epoch machine utilisation: ``(t0_s, t1_s, fraction_busy)``."""
+    out = []
+    for e in result.epochs:
+        if math.isnan(e.t1_s) or e.t1_s <= e.t0_s:
+            continue
+        out.append((e.t0_s, e.t1_s, e.busy_nodes / result.num_nodes))
+    return out
+
+
+def interference_matrix(
+    result: StreamResult,
+) -> tuple[list[str], np.ndarray]:
+    """Time-weighted class-pair interference slowdowns.
+
+    Entry ``[a][b]`` is the epoch-duration-weighted mean slowdown of
+    class-``a`` jobs while at least one *other* class-``b`` job was
+    co-scheduled. NaN where the pair never co-ran. The diagonal is
+    self-interference (two or more jobs of the same class together).
+    """
+    by_id = {j.id: j for j in result.jobs}
+    apps = sorted({j.app for j in result.jobs})
+    idx = {a: i for i, a in enumerate(apps)}
+    acc = np.zeros((len(apps), len(apps)))
+    wgt = np.zeros((len(apps), len(apps)))
+    for e in result.epochs:
+        if math.isnan(e.t1_s):
+            continue
+        d = e.t1_s - e.t0_s
+        if d <= 0 or len(e.job_ids) < 2:
+            continue
+        for jid in e.job_ids:
+            slow = e.slowdowns.get(jid)
+            if slow is None:
+                continue
+            a = idx[by_id[jid].app]
+            co = {by_id[o].app for o in e.job_ids if o != jid}
+            for other in co:
+                b = idx[other]
+                acc[a, b] += slow * d
+                wgt[a, b] += d
+    with np.errstate(invalid="ignore"):
+        mat = np.where(wgt > 0, acc / np.maximum(wgt, 1e-300), np.nan)
+    return apps, mat

@@ -1,0 +1,172 @@
+"""JSON export of cluster streams: the ``repro-cluster-stream/v1`` schema.
+
+One document per stream, carrying scenario identity, per-job records,
+per-epoch records, validation spot-checks, derived aggregates, and the
+invariants block the CI smoke job gates on. Everything is plain JSON
+scalars/lists so the artifact diffs cleanly and loads anywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster.accounting import (
+    StreamResult,
+    interference_matrix,
+    utilization_timeline,
+)
+
+__all__ = ["SCHEMA", "to_doc", "save_json"]
+
+SCHEMA = "repro-cluster-stream/v1"
+
+
+def _num(x: float) -> float | None:
+    """JSON-safe float: NaN/inf become null."""
+    return None if (isinstance(x, float) and not math.isfinite(x)) else x
+
+
+def to_doc(result: StreamResult) -> dict:
+    """Serialise a :class:`StreamResult` as a schema-stamped document."""
+    apps, matrix = interference_matrix(result)
+    util = utilization_timeline(result)
+    done = result.completed
+    mean_util = 0.0
+    if util:
+        total = sum(t1 - t0 for t0, t1, _ in util)
+        if total > 0:
+            mean_util = sum((t1 - t0) * u for t0, t1, u in util) / total
+
+    conserved = {
+        s: len(result.by_status(s))
+        for s in ("completed", "running", "queued", "rejected")
+    }
+    invariants = {
+        "submitted": len(result.jobs),
+        **conserved,
+        "conserved": sum(conserved.values()) == len(result.jobs),
+        "no_double_allocation": True,  # check_invariants raised otherwise
+        "warm_rerun_ready": result.counters.get("cells_planned", 0)
+        == result.counters.get("cells_simulated", 0)
+        + result.counters.get("cells_cached", 0),
+    }
+
+    doc = {
+        "schema": SCHEMA,
+        "scenario": {
+            "mix": result.mix,
+            "policy": result.policy,
+            "routing": result.routing,
+            "backend": result.backend,
+            "seed": result.seed,
+            "duration_s": result.duration_s,
+            "load": result.load,
+            "num_nodes": result.num_nodes,
+        },
+        "counters": dict(result.counters),
+        "wall_s": result.wall_s,
+        "invariants": invariants,
+        "jobs": [
+            {
+                "id": j.id,
+                "name": j.name,
+                "app": j.app,
+                "ranks": j.ranks,
+                "status": j.status,
+                "arrival_s": j.arrival_s,
+                "start_s": _num(j.start_s),
+                "finish_s": _num(j.finish_s),
+                "wait_s": _num(j.wait_s),
+                "stretch": _num(j.stretch),
+                "mean_slowdown": _num(j.mean_slowdown),
+                "placement": j.placement,
+                "nodes": list(j.nodes),
+                "iterations": j.iterations,
+                "work_s": _num(j.work_s),
+                "iso_finish_ns": _num(j.iso_finish_ns),
+                "avg_hops": _num(j.avg_hops),
+                "bytes_sent": j.bytes_sent,
+                "epochs": j.epochs,
+            }
+            for j in result.jobs
+        ],
+        "epochs": [
+            {
+                "index": e.index,
+                "t0_s": e.t0_s,
+                "t1_s": _num(e.t1_s),
+                "job_ids": list(e.job_ids),
+                "apps": list(e.apps),
+                "key": e.key,
+                "status": e.status,
+                "busy_nodes": e.busy_nodes,
+                "slowdowns": {str(k): v for k, v in e.slowdowns.items()},
+                "peak_link_bytes": e.peak_link_bytes,
+                "peak_link_sat_ns": e.peak_link_sat_ns,
+                "makespan_ns": e.makespan_ns,
+                "peak_link_sat_frac": e.peak_link_sat_frac,
+            }
+            for e in result.epochs
+        ],
+        "validations": [
+            {
+                "epoch_index": v.epoch_index,
+                "flow_key": v.flow_key,
+                "packet_key": v.packet_key,
+                "rel_err": dict(v.rel_err),
+                "max_rel_err": _num(v.max_rel_err),
+            }
+            for v in result.validations
+        ],
+        "aggregates": {
+            "makespan_s": result.makespan_s,
+            "mean_utilization": mean_util,
+            "mean_wait_s": _num(
+                float(np.mean([j.wait_s for j in done])) if done else math.nan
+            ),
+            "median_stretch": _num(
+                float(np.median([j.stretch for j in done]))
+                if done
+                else math.nan
+            ),
+            "mean_slowdown": _num(
+                float(np.mean([j.mean_slowdown for j in done]))
+                if done
+                else math.nan
+            ),
+            "mean_hops": _num(
+                float(np.mean([j.avg_hops for j in done]))
+                if done
+                else math.nan
+            ),
+            "heavy_mean_slowdown": _num(
+                float(np.mean([j.mean_slowdown for j in result.heavy_jobs()]))
+                if result.heavy_jobs()
+                else math.nan
+            ),
+            "heavy_peak_link": {
+                k: _num(v) for k, v in result.heavy_epoch_peaks().items()
+            },
+            "fragmentation": {
+                "samples": len(result.frag_samples),
+                "max": max((f for _, f in result.frag_samples), default=0.0),
+            },
+            "interference_matrix": {
+                "apps": apps,
+                "rows": [[_num(float(x)) for x in row] for row in matrix],
+            },
+        },
+    }
+    return doc
+
+
+def save_json(result: StreamResult, path: str | Path) -> Path:
+    """Write the export document; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_doc(result), indent=2, sort_keys=True))
+    return path

@@ -1,0 +1,132 @@
+"""FCFS (+ optional backfill) scheduling over a shared dragonfly.
+
+The scheduler owns a :class:`~repro.placement.machine.Machine` and a
+FIFO queue of :class:`~repro.cluster.workload.StreamJob` submissions.
+Allocations go through the machine's job-keyed claim surface
+(:meth:`~repro.placement.machine.Machine.claim_nodes` /
+:meth:`~repro.placement.machine.Machine.release_job`), so
+double-allocation and leaked nodes are structurally impossible — the
+invariant the stream tests assert.
+
+Placement is any policy name from :mod:`repro.placement.policies`, or
+``"advisor"``: per-job consultation of
+:func:`repro.core.advisor.recommend` with ``shared_network=True``
+(a stream is by construction a shared machine), letting the paper's
+decision procedure drive an online scheduler instead of a one-shot
+study. Routing stays a stream-wide setting — on a real system it is a
+fabric property, not a per-job knob.
+
+Backfill is conservative-lite: when the queue head does not fit, later
+jobs that *do* fit may start, but only if their isolated-work estimate
+says they cannot delay the head beyond the capacity it is waiting for
+— we skip reservations entirely and accept the (measured, reported)
+head-of-line delay instead, like the simplest EASY variants.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.config import SimulationConfig
+from repro.engine.rng import spawn_seed
+from repro.placement.machine import Machine
+from repro.placement.policies import PLACEMENT_NAMES
+
+if TYPE_CHECKING:
+    from repro.cluster.workload import StreamJob
+
+__all__ = ["ADVISOR_POLICY", "SCHED_POLICIES", "ClusterScheduler"]
+
+#: Placement policy name that delegates to :func:`repro.core.advisor`.
+ADVISOR_POLICY = "advisor"
+
+#: Every placement the scheduler accepts.
+SCHED_POLICIES: tuple[str, ...] = tuple(PLACEMENT_NAMES) + (ADVISOR_POLICY,)
+
+
+class ClusterScheduler:
+    """Online FCFS node scheduler with pluggable placement.
+
+    ``stream_seed`` namespaces every allocation draw:
+    ``spawn_seed(stream_seed, "claim", job.id)`` feeds the placement
+    policy, so allocations are reproducible per job regardless of the
+    order in which epochs are evaluated.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        config: SimulationConfig,
+        policy: str = "cont",
+        stream_seed: int = 0,
+        backfill: bool = False,
+    ) -> None:
+        if policy not in SCHED_POLICIES:
+            raise ValueError(
+                f"unknown scheduling policy {policy!r}; "
+                f"choose from {SCHED_POLICIES}"
+            )
+        self.machine = machine
+        self.config = config
+        self.policy = policy
+        self.stream_seed = stream_seed
+        self.backfill = backfill
+        self.queue: deque[StreamJob] = deque()
+        #: Healthy capacity at construction (fenced nodes excluded):
+        #: jobs larger than this can never start and are rejected.
+        self.capacity = machine.num_free
+        self.backfilled = 0
+
+    @property
+    def num_queued(self) -> int:
+        return len(self.queue)
+
+    def submit(self, job: "StreamJob") -> bool:
+        """Queue a job; returns False (rejected) if it can never fit."""
+        if job.ranks > self.capacity:
+            return False
+        self.queue.append(job)
+        return True
+
+    def placement_for(self, job: "StreamJob") -> str:
+        """The placement policy name this job will be allocated with."""
+        if self.policy != ADVISOR_POLICY:
+            return self.policy
+        from repro.core.advisor import recommend
+
+        rec = recommend(job.trace, self.config, shared_network=True)
+        return rec.placement
+
+    def schedule(self) -> list[tuple["StreamJob", list[int], str]]:
+        """Start every job the queue and free pool allow, FCFS order.
+
+        Returns ``(job, nodes, placement)`` for each launch. Without
+        backfill the scan stops at the first job that does not fit;
+        with backfill the rest of the queue is scanned once for jobs
+        that do.
+        """
+        launched: list[tuple[StreamJob, list[int], str]] = []
+        while self.queue and self.queue[0].ranks <= self.machine.num_free:
+            launched.append(self._start(self.queue.popleft()))
+        if self.backfill and self.queue:
+            for job in [j for j in self.queue if j.ranks <= self.machine.num_free]:
+                if job.ranks <= self.machine.num_free:
+                    self.queue.remove(job)
+                    launched.append(self._start(job))
+                    self.backfilled += 1
+        return launched
+
+    def _start(self, job: "StreamJob") -> tuple["StreamJob", list[int], str]:
+        placement = self.placement_for(job)
+        nodes = self.machine.claim_nodes(
+            job.id,
+            placement,
+            job.ranks,
+            seed=spawn_seed(self.stream_seed, "claim", job.id),
+        )
+        return job, nodes, placement
+
+    def finish(self, job_id: int) -> list[int]:
+        """Release a finished job's allocation; returns its nodes."""
+        return self.machine.release_job(job_id)

@@ -14,6 +14,7 @@ the same allocation.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -54,6 +55,10 @@ class ClusterJobResult:
     job: JobResult
     metrics: RunMetrics
     isolated_comm_ns: float | None = None
+    #: Host wall-clock seconds attributed to this job: its share of the
+    #: shared run plus its isolated rerun (when measured). Measurement
+    #: only — never part of determinism fingerprints.
+    wall_s: float = 0.0
 
     @property
     def name(self) -> str:
@@ -77,6 +82,9 @@ class ClusterResult:
 
     jobs: list[ClusterJobResult]
     makespan_ns: float = 0.0
+    #: Host wall-clock seconds for the whole call (shared run plus any
+    #: isolated reruns).
+    wall_s: float = 0.0
     extra: dict = field(default_factory=dict)
 
     def by_name(self, name: str) -> ClusterJobResult:
@@ -104,7 +112,7 @@ def run_cluster(
     config: SimulationConfig,
     specs: list[JobSpec],
     routing: str = "adp",
-    seed: int = 0,
+    seed: int | None = None,
     compute_scale: float = 0.0,
     measure_isolated: bool = True,
     max_events: int | None = 100_000_000,
@@ -116,18 +124,24 @@ def run_cluster(
     scheduling policy). With ``measure_isolated`` each job is also run
     alone on its *same* allocation so the reported slowdown isolates
     network interference from placement quality.
+
+    ``seed=None`` (the default) uses ``config.seed``, matching
+    :func:`~repro.core.runner.run_single`.
     """
     if not specs:
         raise ValueError("need at least one job")
+    if seed is None:
+        seed = config.seed
     ordered = sorted(range(len(specs)), key=lambda i: specs[i].arrival_ns)
 
+    wall_start = time.perf_counter()
     topo = build_topology(config.topology)
     machine = Machine(config.topology)
     allocations: dict[int, list[int]] = {}
     for idx in ordered:
         spec = specs[idx]
-        allocations[idx] = machine.allocate(
-            spec.placement, spec.trace.num_ranks, seed=seed + idx
+        allocations[idx] = machine.claim_nodes(
+            idx, spec.placement, spec.trace.num_ranks, seed=seed + idx
         )
 
     # Shared run.
@@ -138,6 +152,10 @@ def run_cluster(
         engine.add_job(idx, spec.trace, allocations[idx], start_ns=spec.arrival_ns)
     engine.run(max_events=max_events)
     makespan = sim.now
+    shared_wall = time.perf_counter() - wall_start
+    # The shared run is one joint simulation; attribute its wall time
+    # evenly — there is no per-job decomposition of a shared event loop.
+    shared_share = shared_wall / len(specs)
 
     jobs: list[ClusterJobResult] = []
     for idx, spec in enumerate(specs):
@@ -150,11 +168,13 @@ def run_cluster(
                 start_ns=spec.arrival_ns,
                 job=job,
                 metrics=metrics,
+                wall_s=shared_share,
             )
         )
 
     if measure_isolated:
         for idx, result in enumerate(jobs):
+            iso_start = time.perf_counter()
             iso_sim = Simulator()
             iso_fabric = Fabric(
                 iso_sim, topo, config.network, make_routing(routing, seed=seed)
@@ -166,5 +186,10 @@ def run_cluster(
             iso_engine.run(target_job=0, max_events=max_events)
             iso = iso_engine.job_result(0)
             result.isolated_comm_ns = float(np.median(iso.comm_time_ns))
+            result.wall_s += time.perf_counter() - iso_start
 
-    return ClusterResult(jobs=jobs, makespan_ns=makespan)
+    return ClusterResult(
+        jobs=jobs,
+        makespan_ns=makespan,
+        wall_s=time.perf_counter() - wall_start,
+    )

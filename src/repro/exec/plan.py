@@ -48,8 +48,11 @@ __all__ = [
 #: grew ``obs``/``TimeSeriesMetrics``, specs grew an ``obs`` field);
 #: v3 = repro.faults (specs grew a ``faults`` field, RunResult.extra
 #: carries fault telemetry); v4 = repro.flow (specs grew a ``backend``
-#: field, RunResult grew ``backend``/``wall_s``).
-CODE_SALT = "repro-exec/v4"
+#: field, RunResult grew ``backend``/``wall_s``); v5 = repro.cluster
+#: (specs grew an ``epoch`` field — co-scheduled stream snapshots with
+#: the stream seed and workload mix in the identity hash — and
+#: RunResult.extra carries per-job epoch telemetry).
+CODE_SALT = "repro-exec/v5"
 
 #: Default replay event budget, mirrored from ``run_single``.
 DEFAULT_MAX_EVENTS = 50_000_000
@@ -108,6 +111,14 @@ class RunSpec:
     ``"flow"``, see :mod:`repro.flow`). Unlike ``scheduler`` it **does**
     change results, so it is part of the identity hash: a flow cell
     never shares a cache entry with its packet twin.
+
+    ``epoch`` is an optional
+    :class:`~repro.cluster.engine.EpochSpec` — a co-scheduled snapshot
+    of a cluster stream (job names, rank spans, node allocations,
+    stream seed, workload mix). It is part of the identity hash, so an
+    epoch cell can never collide with a single-job cell, and epochs of
+    different streams (different seed or mix) never share entries even
+    if their snapshots happen to coincide.
     """
 
     app: str
@@ -125,6 +136,7 @@ class RunSpec:
     scheduler: str = "heap"
     faults: Any = None
     backend: str = "packet"
+    epoch: Any = None
 
     @property
     def label(self) -> str:
@@ -147,6 +159,11 @@ class RunSpec:
         faults = self.faults
         if faults is not None:
             faults = None if faults.is_empty() else faults.digest
+        epoch = (
+            dataclasses.asdict(self.epoch)
+            if dataclasses.is_dataclass(self.epoch)
+            else self.epoch
+        )
         payload = json.dumps(
             {
                 "salt": CODE_SALT,
@@ -164,6 +181,7 @@ class RunSpec:
                 "obs": obs,
                 "faults": faults,
                 "backend": self.backend,
+                "epoch": epoch,
                 # NB: `scheduler` is intentionally absent — it cannot
                 # change results, so it must not split the cache.
             },

@@ -16,11 +16,21 @@ __all__ = ["Machine"]
 
 
 class Machine:
-    """Node inventory of one dragonfly system."""
+    """Node inventory of one dragonfly system.
+
+    Two allocation surfaces share one free pool:
+
+    * :meth:`allocate` / :meth:`release` — anonymous node lists, for
+      one-shot drivers that manage their own bookkeeping;
+    * :meth:`claim_nodes` / :meth:`release_job` — job-keyed claims, for
+      schedulers: the machine remembers which nodes each job holds, so
+      the caller cannot double-release or leak an allocation.
+    """
 
     def __init__(self, params: DragonflyParams) -> None:
         self.params = params
         self._free: set[int] = set(range(params.num_nodes))
+        self._claims: dict[object, list[int]] = {}
 
     @property
     def num_nodes(self) -> int:
@@ -87,3 +97,43 @@ class Machine:
             if not 0 <= n < self.params.num_nodes:
                 raise ValueError(f"node {n} out of range")
         self._free.update(nodes)
+
+    # ------------------------------------------------------------------
+    # job-keyed claims (scheduler surface)
+    # ------------------------------------------------------------------
+    @property
+    def num_claimed(self) -> int:
+        """Nodes currently held by job-keyed claims."""
+        return sum(len(nodes) for nodes in self._claims.values())
+
+    def claimed_jobs(self) -> list[object]:
+        """Job keys with a live claim, in claim order."""
+        return list(self._claims)
+
+    def allocation_of(self, job_id: object) -> list[int]:
+        """The nodes held by ``job_id`` (a copy)."""
+        return list(self._claims[job_id])
+
+    def claim_nodes(
+        self, job_id: object, policy, num_nodes: int, seed: int = 0
+    ) -> list[int]:
+        """Allocate ``num_nodes`` through ``policy`` and record the claim.
+
+        Exactly :meth:`allocate`, plus the machine remembers the nodes
+        under ``job_id`` until :meth:`release_job`. Raises if the job
+        already holds a claim.
+        """
+        if job_id in self._claims:
+            raise ValueError(f"job {job_id!r} already holds an allocation")
+        nodes = self.allocate(policy, num_nodes, seed=seed)
+        self._claims[job_id] = nodes
+        return list(nodes)
+
+    def release_job(self, job_id: object) -> list[int]:
+        """Free the claim held by ``job_id``; returns the released nodes."""
+        try:
+            nodes = self._claims.pop(job_id)
+        except KeyError:
+            raise KeyError(f"job {job_id!r} holds no allocation") from None
+        self.release(nodes)
+        return nodes

@@ -150,6 +150,58 @@ class TestCommands:
         assert rc == 0
         assert "cont-min" in out
 
+    def test_cluster_stream(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "stream.json"
+        rc, out = run_cli(
+            capsys,
+            "cluster-stream",
+            "--preset",
+            "tiny",
+            "--duration",
+            "0.5",
+            "--load",
+            "0.5",
+            "--seed",
+            "3",
+            "--out",
+            str(out_path),
+        )
+        assert rc == 0
+        assert "stream: mix=" in out and "epochs" in out
+        doc = json.loads(out_path.read_text())
+        assert doc["schema"] == "repro-cluster-stream/v1"
+        assert doc["invariants"]["conserved"]
+
+    def test_cluster_stream_rejects_link_faults_on_flow(self, capsys, tmp_path):
+        from repro.faults import FaultPlan, LinkFault, save_fault_plan
+        from repro.core.runner import build_topology
+        import repro
+
+        topo = build_topology(repro.tiny().topology)
+        link = next(
+            i
+            for i in range(topo.num_links)
+            if not topo.links.kind_of(i).is_terminal
+        )
+        plan_path = tmp_path / "plan.json"
+        save_fault_plan(
+            FaultPlan(link_faults=(LinkFault(link),)), plan_path
+        )
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "cluster-stream",
+                    "--preset",
+                    "tiny",
+                    "--duration",
+                    "0.2",
+                    "--faults",
+                    str(plan_path),
+                ]
+            )
+
     def test_unknown_app_rejected(self, capsys):
         with pytest.raises(SystemExit):
             main(["study", "LINPACK", "--preset", "tiny"])
