@@ -1,13 +1,17 @@
 """Flow-vs-packet backend throughput benchmark (the repro.flow gate).
 
 Times the tiny-preset 5x2 placement x routing grid — serial, cache
-off — under both simulation backends at a realistic message scale and
-reports wall-clock mean/stdev, grid cells per second, and the
-flow-over-packet speedup. Repeats are interleaved A/B
-(packet, flow, packet, flow, ...) so slow clock drift or thermal
-throttling biases both backends equally instead of whichever ran
-last. This is the workload behind the speedup claim in
-``BENCH_flow.json`` and the CI flow-smoke gate.
+off — under three configurations at a realistic message scale:
+``packet`` (the reference backend), ``flow`` (the fluid backend at its
+production defaults, i.e. the vectorized solver behind its adaptive
+dispatch), and ``flow_batch`` (the fluid backend with cells chunked
+through :class:`repro.flow.BatchedFlowRunner`). Reports wall-clock
+mean/stdev, grid cells per second, the flow-over-packet speedup, and
+the batched-over-unbatched flow speedup. Repeats are interleaved
+A/B/C (packet, flow, flow_batch, ...) so slow clock drift or thermal
+throttling biases every configuration equally instead of whichever
+ran last. This is the workload behind the speedup claims in
+``BENCH_flow.json`` and the CI flow-smoke / flow-batch-smoke gates.
 
 Usage::
 
@@ -17,10 +21,14 @@ Usage::
     python benchmarks/bench_flow.py --quick \\
         --compare BENCH_flow.json --max-regression 0.25
 
-``--compare`` exits non-zero when either backend's cells/s fall more
-than ``--max-regression`` below the reference file or the measured
+``--compare`` exits non-zero when any configuration's cells/s fall
+more than ``--max-regression`` below the reference file, the measured
 flow speedup drops under ``--min-speedup`` (default 5x, the
-acceptance floor from DESIGN.md S16).
+acceptance floor from DESIGN.md S16), or the batched flow speedup
+drops under ``--min-batch-speedup`` (default 0.9: on this serial
+single-machine workload batching is gated on *not hurting* — the
+route models are already process-warm, so the chunking can only
+recover task overhead; see DESIGN.md S18 for the Amdahl analysis).
 """
 
 from __future__ import annotations
@@ -37,8 +45,9 @@ import repro
 from repro.core.study import TradeoffStudy
 from repro.flow.routes import BACKEND_NAMES
 
-#: Versioned result-file schema.
-SCHEMA = "repro-bench-flow/v1"
+#: Versioned result-file schema. v2 added the ``flow_batch``
+#: configuration and the ``batch_speedup`` field.
+SCHEMA = "repro-bench-flow/v2"
 
 #: The cross-fidelity scenario at a non-degenerate message scale
 #: (0.05 leaves only 1-3 packets per message, which understates the
@@ -51,11 +60,19 @@ SCENARIO = {
     "trace_seed": 3,
     "msg_scale": 0.2,
     "study_seed": 7,
+    "flow_batch": 5,
 }
 
+#: Timed configurations: both backends plus the batched flow path.
+CONFIG_NAMES = ("packet", "flow", "flow_batch")
 
-def _grid_once(backend: str) -> tuple[float, int]:
+assert set(BACKEND_NAMES) <= set(CONFIG_NAMES)
+
+
+def _grid_once(config_name: str) -> tuple[float, int]:
     """One full 5x2 grid run; returns (wall seconds, grid cells)."""
+    backend = "flow" if config_name == "flow_batch" else config_name
+    flow_batch = SCENARIO["flow_batch"] if config_name == "flow_batch" else 0
     cfg = repro.tiny()
     trace = repro.fill_boundary_trace(
         num_ranks=SCENARIO["ranks"], seed=SCENARIO["trace_seed"]
@@ -66,19 +83,19 @@ def _grid_once(backend: str) -> tuple[float, int]:
         {SCENARIO["app"]: trace},
         seed=SCENARIO["study_seed"],
         backend=backend,
-    ).run()
+    ).run(flow_batch=flow_batch)
     return time.perf_counter() - t0, len(result.runs)
 
 
 def bench(repeats: int, warmup: int = 1) -> dict:
     """Time both backends A/B-interleaved; return the result doc."""
-    times: dict[str, list[float]] = {b: [] for b in BACKEND_NAMES}
+    times: dict[str, list[float]] = {c: [] for c in CONFIG_NAMES}
     cells = 0
-    for backend in BACKEND_NAMES:
+    for backend in CONFIG_NAMES:
         for _ in range(warmup):
             _grid_once(backend)
     for rep in range(repeats):
-        for backend in BACKEND_NAMES:  # interleaved: packet, flow, ...
+        for backend in CONFIG_NAMES:  # interleaved: packet, flow, ...
             wall, cells = _grid_once(backend)
             times[backend].append(wall)
             print(
@@ -99,7 +116,9 @@ def bench(repeats: int, warmup: int = 1) -> dict:
             "cells_per_s": round(cells / mean, 2),
         }
     speedup = configs["packet"]["mean_s"] / configs["flow"]["mean_s"]
+    batch_speedup = configs["flow"]["mean_s"] / configs["flow_batch"]["mean_s"]
     print(f"flow speedup over packet: {speedup:.1f}x", file=sys.stderr)
+    print(f"batched flow speedup: {batch_speedup:.2f}x", file=sys.stderr)
     return {
         "schema": SCHEMA,
         "scenario": SCENARIO,
@@ -107,11 +126,16 @@ def bench(repeats: int, warmup: int = 1) -> dict:
         "machine": platform.machine(),
         "configs": configs,
         "speedup": round(speedup, 2),
+        "batch_speedup": round(batch_speedup, 2),
     }
 
 
 def compare(
-    doc: dict, ref_path: Path, max_regression: float, min_speedup: float
+    doc: dict,
+    ref_path: Path,
+    max_regression: float,
+    min_speedup: float,
+    min_batch_speedup: float,
 ) -> int:
     """Gate ``doc`` against a reference file; returns the exit code."""
     ref = json.loads(ref_path.read_text())
@@ -139,6 +163,14 @@ def compare(
     print(
         f"{status:>9}  speedup: {doc['speedup']:.1f}x "
         f"(floor {min_speedup:.1f}x)",
+        file=sys.stderr,
+    )
+    if status != "OK":
+        failed = True
+    status = "OK" if doc["batch_speedup"] >= min_batch_speedup else "REGRESSED"
+    print(
+        f"{status:>9}  batch speedup: {doc['batch_speedup']:.2f}x "
+        f"(floor {min_batch_speedup:.2f}x)",
         file=sys.stderr,
     )
     if status != "OK":
@@ -177,6 +209,16 @@ def main(argv: list[str] | None = None) -> int:
         default=5.0,
         help="minimum flow-over-packet speedup (default 5.0)",
     )
+    parser.add_argument(
+        "--min-batch-speedup",
+        type=float,
+        default=0.9,
+        help=(
+            "minimum batched-over-unbatched flow speedup (default 0.9: "
+            "batching must not hurt on the serial reference workload, "
+            "with headroom for timer noise at the grid's short walls)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     repeats = 2 if args.quick else args.repeats
@@ -190,7 +232,11 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.compare:
         return compare(
-            doc, Path(args.compare), args.max_regression, args.min_speedup
+            doc,
+            Path(args.compare),
+            args.max_regression,
+            args.min_speedup,
+            args.min_batch_speedup,
         )
     return 0
 

@@ -91,6 +91,15 @@ def _add_common(p: argparse.ArgumentParser) -> None:
         help="disk result cache; re-runs only simulate changed cells",
     )
     p.add_argument(
+        "--flow-batch",
+        type=int,
+        default=0,
+        metavar="N",
+        help="batch flow-backend cells N at a time per executor task "
+        "(shared route-model reuse; a pure performance knob — results "
+        "and cache keys are identical at any batch size; 0 = off)",
+    )
+    p.add_argument(
         "--progress",
         action="store_true",
         help="print per-cell progress/ETA telemetry to stderr",
@@ -166,6 +175,7 @@ def _exec_opts(args) -> dict:
         "max_workers": args.workers,
         "cache_dir": args.cache_dir,
         "progress": TextReporter() if args.progress else None,
+        "flow_batch": args.flow_batch,
     }
 
 
@@ -350,6 +360,11 @@ def main(argv: list[str] | None = None) -> int:
         "(0 = off)",
     )
     p_cs.add_argument("--workers", type=int, default=1)
+    p_cs.add_argument(
+        "--flow-batch", type=int, default=0, metavar="N",
+        help="batch flow epoch cells N at a time per executor task "
+        "(results identical at any batch size; 0 = off)",
+    )
     p_cs.add_argument("--cache-dir", default=None, metavar="DIR")
     p_cs.add_argument("--progress", action="store_true")
     p_cs.add_argument("--faults", default=None, metavar="PLAN.json")
@@ -542,6 +557,7 @@ def main(argv: list[str] | None = None) -> int:
                 progress=TextReporter() if args.progress else None,
                 validate_every=args.validate_every,
                 faults=_fault_plan(args, config),
+                flow_batch=args.flow_batch,
             )
         except ValueError as exc:
             parser.error(str(exc))

@@ -270,6 +270,7 @@ def run_stream(
     max_events: int | None = DEFAULT_MAX_EVENTS,
     timeout_s: float | None = None,
     jobs: list[StreamJob] | None = None,
+    flow_batch: int = 0,
 ) -> StreamResult:
     """Drive one seeded cluster stream end to end.
 
@@ -292,8 +293,10 @@ def run_stream(
 
     Determinism: identical arguments yield an identical
     :class:`~repro.cluster.accounting.StreamResult` for any
-    ``max_workers``, and identical epoch-cell keys across runs — a
-    warm ``cache`` makes a re-run simulate zero cells.
+    ``max_workers`` (and any ``flow_batch`` — batching flow epoch
+    cells through :class:`~repro.flow.batch.BatchedFlowRunner` is pure
+    scheduling), and identical epoch-cell keys across runs — a warm
+    ``cache`` makes a re-run simulate zero cells.
     """
     wall_start = time.perf_counter()
     if seed is None:
@@ -444,6 +447,7 @@ def run_stream(
             timeout_s=timeout_s,
             runner=simulate_epoch,
             strict=True,
+            flow_batch=flow_batch,
         )
         counters["cells_planned"] += report.planned
         counters["cells_simulated"] += report.done

@@ -90,6 +90,7 @@ def interference_study(
     scheduler: str = "heap",
     faults=None,
     backend: str = "packet",
+    flow_batch: int = 0,
 ) -> StudyResult:
     """Run the placement x routing grid with background traffic.
 
@@ -111,7 +112,8 @@ def interference_study(
         backend=backend,
     )
     return study.run(
-        max_workers=max_workers, cache_dir=cache_dir, progress=progress
+        max_workers=max_workers, cache_dir=cache_dir, progress=progress,
+        flow_batch=flow_batch,
     )
 
 

@@ -143,6 +143,7 @@ def resilience_study(
     obs=None,
     scheduler: str = "heap",
     backend: str = "packet",
+    flow_batch: int = 0,
 ) -> ResilienceResult:
     """Sweep failure rate over the placement x routing grid.
 
@@ -187,7 +188,8 @@ def resilience_study(
             faults=plan,
             backend=backend,
         ).run(
-            max_workers=max_workers, cache_dir=cache_dir, progress=progress
+            max_workers=max_workers, cache_dir=cache_dir, progress=progress,
+            flow_batch=flow_batch,
         )
     return ResilienceResult(
         tuple(all_rates), studies, plans, fault_seed=fault_seed

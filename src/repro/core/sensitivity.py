@@ -90,6 +90,7 @@ def sensitivity_sweep(
     scheduler: str = "heap",
     faults=None,
     backend: str = "packet",
+    flow_batch: int = 0,
 ) -> SensitivityResult:
     """Run the message-size sweep for one application.
 
@@ -114,6 +115,7 @@ def sensitivity_sweep(
         cache=cache_dir,
         progress=progress,
         strict=True,
+        flow_batch=flow_batch,
     )
     # Plan order is scale-major then config, so per-label appends land
     # in scale order exactly as the serial loop produced them.

@@ -83,6 +83,7 @@ class TradeoffStudy:
         progress=None,
         timeout_s: float | None = None,
         retries: int = 1,
+        flow_batch: int = 0,
     ) -> "StudyResult":
         """Execute the full grid and collect results.
 
@@ -93,6 +94,9 @@ class TradeoffStudy:
         enables the disk result cache so a re-run only simulates
         changed cells; ``progress`` receives
         :class:`~repro.exec.progress.ProgressEvent` telemetry.
+        ``flow_batch > 1`` batches flow-backend cells that many at a
+        time per executor task (results unchanged; packet cells are
+        unaffected).
         """
         plan = self.plan()
         report = execute_plan(
@@ -104,6 +108,7 @@ class TradeoffStudy:
             retries=retries,
             ipc_send_events=self.record_sends,
             strict=True,
+            flow_batch=flow_batch,
         )
         runs: dict[tuple[str, str, str], RunResult] = {}
         for spec, outcome in zip(plan.specs, report.outcomes):

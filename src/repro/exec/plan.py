@@ -51,8 +51,13 @@ __all__ = [
 #: field, RunResult grew ``backend``/``wall_s``); v5 = repro.cluster
 #: (specs grew an ``epoch`` field — co-scheduled stream snapshots with
 #: the stream seed and workload mix in the identity hash — and
-#: RunResult.extra carries per-job epoch telemetry).
-CODE_SALT = "repro-exec/v5"
+#: RunResult.extra carries per-job epoch telemetry); v6 = vectorized
+#: flow solver became the default (scalar/vector agree only to rel err
+#: ~1e-12, so cached flow results may shift in the last bits) and the
+#: fabric wake re-arm gained the one-ulp collapse guard. The solver
+#: knob itself and ``flow_batch`` are pure performance knobs and stay
+#: OUT of the identity, like ``scheduler``.
+CODE_SALT = "repro-exec/v6"
 
 #: Default replay event budget, mirrored from ``run_single``.
 DEFAULT_MAX_EVENTS = 50_000_000

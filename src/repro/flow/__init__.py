@@ -9,6 +9,7 @@ the CLI); validate it against the exact engine with
 :func:`~repro.flow.fidelity.fidelity_report`.
 """
 
+from repro.flow.batch import BatchedFlowRunner, run_flow_batch
 from repro.flow.fabric import FlowFabric
 from repro.flow.fidelity import FidelityReport, fidelity_report, kendall_tau
 from repro.flow.routes import (
@@ -17,14 +18,28 @@ from repro.flow.routes import (
     FlowParams,
     FlowRouteModel,
 )
+from repro.flow.solver import (
+    DEFAULT_SOLVER,
+    SOLVER_NAMES,
+    get_solver,
+    solve_scalar,
+    solve_vector,
+)
 
 __all__ = [
     "BACKEND_NAMES",
+    "BatchedFlowRunner",
+    "DEFAULT_SOLVER",
     "FlowFabric",
     "FlowEntry",
     "FlowParams",
     "FlowRouteModel",
     "FidelityReport",
+    "SOLVER_NAMES",
     "fidelity_report",
+    "get_solver",
     "kendall_tau",
+    "run_flow_batch",
+    "solve_scalar",
+    "solve_vector",
 ]

@@ -1,0 +1,124 @@
+"""Batched execution of independent flow-backend cells.
+
+A flow-backend grid cell spends a measurable slice of its wall time on
+per-cell fixed costs: task submission/IPC in the process pool, and the
+first-touch warming of the shared :func:`~repro.flow.routes
+.flow_route_model` memos (entry tables, candidate sets, spill results).
+:class:`BatchedFlowRunner` amortizes both by solving many independent
+cells inside one worker task: the route models for every routing in the
+batch are warmed once up front, then each cell runs against the warm
+memos with no further IPC until the whole batch returns.
+
+Batching is pure scheduling — cell *results* are untouched. Each cell
+is still keyed, cached, retried, and reported individually by
+:func:`repro.exec.pool.execute_plan` (its ``flow_batch`` argument is
+the user-facing knob; the batch size is deliberately **excluded** from
+the exec cache identity), and a cell that raises inside a batch is
+isolated to an error payload so its batch-mates still land. The
+differential harness in ``tests/integration/test_flow_batch_equivalence
+.py`` asserts batched results are *bit-identical* to serial ones.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.flow.routes import flow_route_model
+
+__all__ = ["BatchedFlowRunner", "run_flow_batch"]
+
+#: Per-cell payloads crossing the worker boundary: ``("ok", RunResult,
+#: wall_s)`` or ``("err", repr(exc), wall_s)``.
+CellPayload = tuple[str, Any, float]
+
+
+class BatchedFlowRunner:
+    """Run many independent flow cells with shared route-model reuse.
+
+    ``runner`` is the per-cell function ``(config, spec, trace) ->
+    RunResult`` (defaults to :func:`repro.exec.pool.simulate_spec`,
+    resolved lazily to keep this module import-light inside workers).
+    """
+
+    def __init__(self, config, runner: Callable | None = None) -> None:
+        if runner is None:
+            from repro.exec.pool import simulate_spec
+
+            runner = simulate_spec
+        self.config = config
+        self.runner = runner
+        #: Distinct route models warmed by the last :meth:`prewarm`.
+        self.models_warmed = 0
+
+    def prewarm(self, specs: Iterable[Any]) -> int:
+        """Touch the shared route model for every routing in ``specs``.
+
+        Warming is a pure speed-up: :func:`flow_route_model` memoises on
+        (topology, network, routing, params), so the per-cell fabrics
+        constructed later find their entry/candidate/spill memos hot.
+        Returns the number of distinct models touched.
+        """
+        from repro.core.runner import build_topology
+
+        topo = build_topology(self.config.topology)
+        seen: set[str] = set()
+        for spec in specs:
+            routing = spec.routing
+            if routing not in seen:
+                seen.add(routing)
+                flow_route_model(topo, self.config.network, routing)
+        self.models_warmed = len(seen)
+        return self.models_warmed
+
+    def run_cell(self, spec, trace):
+        """Solve one cell exactly as the unbatched path would."""
+        return self.runner(self.config, spec, trace)
+
+    def run_batch(
+        self,
+        items: Sequence[tuple[Any, Any]],
+        timeout_s: float | None = None,
+        keep_sends: bool = True,
+    ) -> list[CellPayload]:
+        """Solve every ``(spec, trace)`` item, isolating per-cell errors.
+
+        Returns one :data:`CellPayload` per item, in item order. A cell
+        that raises (including a ``SIGALRM``-enforced
+        :class:`~repro.exec.pool.CellTimeout`) becomes an ``"err"``
+        payload without disturbing its batch-mates, so the executor can
+        retry exactly the failed cells. ``keep_sends=False`` slims the
+        optional ``job.send_events`` payload before the batch crosses a
+        process boundary, mirroring the unbatched IPC policy.
+        """
+        from repro.exec.pool import _call_with_timeout
+
+        self.prewarm(spec for spec, _ in items)
+        payloads: list[CellPayload] = []
+        for spec, trace in items:
+            start = time.perf_counter()
+            try:
+                result = _call_with_timeout(
+                    self.run_cell, (spec, trace), timeout_s
+                )
+            except Exception as exc:  # noqa: BLE001 — cell isolation
+                payloads.append(
+                    ("err", repr(exc), time.perf_counter() - start)
+                )
+                continue
+            if not keep_sends and getattr(result, "job", None) is not None:
+                result.job.send_events = None
+            payloads.append(("ok", result, time.perf_counter() - start))
+        return payloads
+
+
+def run_flow_batch(
+    runner: Callable | None,
+    config,
+    items: Sequence[tuple[Any, Any]],
+    timeout_s: float | None = None,
+    keep_sends: bool = True,
+) -> list[CellPayload]:
+    """Module-level batch entry point (what pool workers execute)."""
+    batch = BatchedFlowRunner(config, runner=runner)
+    return batch.run_batch(items, timeout_s=timeout_s, keep_sends=keep_sends)

@@ -55,11 +55,13 @@ packet backend.
 from __future__ import annotations
 
 import math
+import os
 from collections import deque
 
 from repro.config import NetworkParams
 from repro.engine.simulator import Simulator
 from repro.flow.routes import FlowParams, flow_route_model
+from repro.flow.solver import DEFAULT_SOLVER, get_solver
 from repro.network.packet import Message
 from repro.topology.dragonfly import Dragonfly
 
@@ -68,10 +70,6 @@ __all__ = ["FlowFabric"]
 #: A flow is complete once its residual drops below half a byte — far
 #: above float residue at any realistic rate, far below one packet.
 _DONE_BYTES = 0.5
-
-#: Relative tolerance for "this link is saturated" in the solver and
-#: the saturation clock.
-_SAT_RTOL = 1e-9
 
 
 class _Unit:
@@ -144,12 +142,21 @@ class FlowFabric:
         net: NetworkParams,
         routing: str,
         params: FlowParams | None = None,
+        solver: str | None = None,
     ) -> None:
         self.sim = sim
         self.topo = topo
         self.net = net
         self.params = params if params is not None else FlowParams()
         self.routes = flow_route_model(topo, net, routing, self.params)
+        # Max-min solver selection: explicit argument, then the
+        # REPRO_FLOW_SOLVER environment knob, then the default. A pure
+        # performance knob (scalar and vector agree to rel err far
+        # below 1e-9), so it is NOT part of the exec cache identity.
+        if solver is None:
+            solver = os.environ.get("REPRO_FLOW_SOLVER") or DEFAULT_SOLVER
+        self.solver = solver
+        self._solve_fn = get_solver(solver)
 
         n_links = topo.num_links
         bw_arr, lat_arr, _buf = topo.link_profiles(net)
@@ -384,6 +391,16 @@ class FlowFabric:
                     if t < nxt:
                         nxt = t
             if nxt < math.inf:
+                if nxt <= now:
+                    # Float collapse: at huge simulated times a short
+                    # drain interval can round to ``now + dt == now``,
+                    # and a wake at the same timestamp re-arms forever
+                    # (``_settle`` sees dt == 0, nothing progresses).
+                    # Bump one ulp: the collapse implies the drain time
+                    # is below ulp/2, so one ulp of progress at the
+                    # flow's rate over-covers its residual and the
+                    # ``_settle`` cap finishes it exactly.
+                    nxt = math.nextafter(now, math.inf)
                 self._request_wake(nxt)
         finally:
             self._in_update = False
@@ -435,91 +452,7 @@ class FlowFabric:
 
     def _solve(self) -> None:
         """Weighted max-min rates for the active units (progressive
-        filling).
-
-        Deterministic: link maps iterate in first-touch order, which is
-        fixed by flow admission order, itself fixed by the simulator's
-        total event order.
+        filling), delegated to the selected implementation in
+        :mod:`repro.flow.solver`.
         """
-        flows = self._active
-        saturated: list[int] = []
-        if not flows:
-            self._saturated = saturated
-            return
-
-        bw = self.bw
-        weight: dict[int, float] = {}
-        crossings: dict[int, int] = {}
-        last_flow: dict[int, int] = {}
-        users: dict[int, list[_Unit]] = {}
-        n_unfrozen = 0
-        for fi, f in enumerate(flows):
-            for unit in f.units:
-                unit.rate = -1.0  # sentinel: not yet frozen
-                n_unfrozen += 1
-                for lid, w in unit.links:
-                    if lid in weight:
-                        weight[lid] += w
-                        users[lid].append(unit)
-                    else:
-                        weight[lid] = w
-                        users[lid] = [unit]
-                    # Count distinct *flows* per link (units of one flow
-                    # sharing its terminals are not contention).
-                    if last_flow.get(lid) != fi:
-                        last_flow[lid] = fi
-                        crossings[lid] = crossings.get(lid, 0) + 1
-        link_ids = list(weight)
-        residual = {lid: bw[lid] for lid in link_ids}
-
-        base = 0.0
-        while n_unfrozen:
-            step = math.inf
-            for lid in link_ids:
-                wsum = weight[lid]
-                if wsum > 1e-15:
-                    t = residual[lid] / wsum
-                    if t < step:
-                        step = t
-            if step is math.inf:  # pragma: no cover - defensive
-                break
-            base += step
-            bottleneck: list[int] = []
-            for lid in link_ids:
-                wsum = weight[lid]
-                if wsum > 1e-15:
-                    r = residual[lid] - wsum * step
-                    residual[lid] = r
-                    if r <= bw[lid] * 1e-12:
-                        bottleneck.append(lid)
-            progressed = False
-            for lid in bottleneck:
-                for unit in users[lid]:
-                    if unit.rate < 0.0:
-                        unit.rate = base
-                        n_unfrozen -= 1
-                        progressed = True
-                        for l2, w2 in unit.links:
-                            weight[l2] -= w2
-            if not progressed:  # pragma: no cover - defensive
-                break
-        for f in flows:
-            rate = 0.0
-            for unit in f.units:
-                if unit.rate < 0.0:  # pragma: no cover - defensive
-                    unit.rate = base
-                rate += unit.rate
-            f.rate = rate
-
-        # Saturation proxy: a link counts as saturated only while it is
-        # a contended bottleneck — allocated to capacity with two or
-        # more flows competing for it. A lone flow pinned at its own
-        # bottleneck is healthy progress, not congestion (the packet
-        # model's buffers never fill there either).
-        for lid in sorted(residual):
-            if (
-                crossings[lid] >= 2
-                and residual[lid] <= self.bw[lid] * _SAT_RTOL
-            ):
-                saturated.append(lid)
-        self._saturated = saturated
+        self._saturated = self._solve_fn(self._active, self.bw)

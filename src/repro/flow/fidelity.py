@@ -178,6 +178,7 @@ def fidelity_report(
     max_workers: int = 1,
     cache_dir: Any = None,
     progress: Any = None,
+    flow_batch: int = 0,
 ) -> FidelityReport:
     """Run matched packet and flow grids and compare them.
 
@@ -200,7 +201,10 @@ def fidelity_report(
             compute_scale=compute_scale,
             scheduler=scheduler,
             backend=backend,
-        ).run(max_workers=max_workers, cache_dir=cache_dir, progress=progress)
+        ).run(
+            max_workers=max_workers, cache_dir=cache_dir,
+            progress=progress, flow_batch=flow_batch,
+        )
     packet, flow = results["packet"], results["flow"]
 
     cells: list[dict[str, Any]] = []

@@ -266,6 +266,7 @@ class FlowRouteModel:
         drain_dt = psize / bw[self.topo.terminal_in(src_node)]
         backlog: dict[int, float] = {}
         took = [False] * len(static)
+        n_taken = 0
         for _ in range(quanta):
             best = -1
             best_cost = math.inf
@@ -283,7 +284,14 @@ class FlowRouteModel:
                 if cost < best_cost:
                     best_cost = cost
                     best = i
-            took[best] = True
+            if not took[best]:
+                took[best] = True
+                n_taken += 1
+                if n_taken == len(static):
+                    # Every candidate already participates: further
+                    # quanta only churn the backlog and cannot change
+                    # the returned spill set — stop exactly here.
+                    break
             first = static[best][1]
             if first < 0:
                 break  # same-router: nothing ever beats the empty path

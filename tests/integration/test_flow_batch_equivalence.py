@@ -1,0 +1,178 @@
+"""Scalar-vs-vector and batched-vs-serial equivalence through the
+real drivers.
+
+The unit harness (``tests/unit/test_flow_vectorized.py``) proves the
+two max-min solvers agree on synthetic instances; this module proves
+the promises the exec layer builds on top of them:
+
+* the full tiny 5x2 placement x routing grid produces the same physics
+  (every summary metric, the saturation clocks, per-rank finish and
+  blocked times, ``sim_time_ns``) under either solver to relative
+  error below ``1e-9``;
+* solver choice and ``flow_batch`` are invisible to the cache — the
+  planned ``RunSpec`` keys are identical under both;
+* running cells through :class:`repro.flow.BatchedFlowRunner` (any
+  batch size, serial or pooled) is *bit-identical* to the unbatched
+  path — batching is pure scheduling;
+* a seeded fuzz sweep over traces and message scales keeps the
+  scalar/vector agreement honest away from the committed golden
+  scenarios (full sweep is ``slow``; one slice always runs in CI).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+import repro
+from repro.exec.plan import plan_grid
+from repro.flow.solver import SAT_RTOL
+from repro.routing import ROUTING_NAMES
+
+REL_ERR = 1e-9
+
+# The fuzz grid: (trace builder, num_ranks, trace seed, message scale).
+_FUZZ_CASES = [
+    ("fill_boundary_trace", 8, 3, 0.05),
+    ("fill_boundary_trace", 8, 11, 0.2),
+    ("fill_boundary_trace", 16, 4, 0.1),
+    ("crystal_router_trace", 8, 5, 0.05),
+    ("crystal_router_trace", 16, 9, 0.02),
+    ("amg_trace", 8, 2, 0.05),
+    ("amg_trace", 16, 7, 0.1),
+]
+# The non-slow CI slice: one case per distinct trace family.
+_FAST_SLICE = {0, 3, 5}
+
+
+def _trace(builder: str, num_ranks: int, seed: int, scale: float):
+    make = getattr(repro, builder)
+    return make(num_ranks=num_ranks, seed=seed).scaled(scale)
+
+
+def _fingerprint(solver: str | None, monkeypatch, *, trace=None, **run_kw):
+    """Per-cell physics of the tiny FB grid under one solver setting."""
+    if solver is None:
+        monkeypatch.delenv("REPRO_FLOW_SOLVER", raising=False)
+    else:
+        monkeypatch.setenv("REPRO_FLOW_SOLVER", solver)
+    if trace is None:
+        trace = _trace("fill_boundary_trace", 8, 3, 0.05)
+    study = repro.TradeoffStudy(
+        repro.tiny(), {"FB": trace}, seed=7, backend="flow"
+    ).run(**run_kw)
+    out = {}
+    for key, result in study.runs.items():
+        out[key] = (
+            result.metrics.summary(),
+            result.sim_time_ns,
+            result.nonminimal_fraction,
+            result.job.finish_time_ns.tolist(),
+            result.job.blocked_time_ns.tolist(),
+        )
+    return out
+
+
+def _assert_cells_close(a, b, rel=REL_ERR):
+    """Every metric of every cell agrees to relative error < ``rel``."""
+    assert a.keys() == b.keys()
+    for key in a:
+        sa, ta, nma, fa, ba = a[key]
+        sb, tb, nmb, fb, bb = b[key]
+        assert sa.keys() == sb.keys(), key
+        for name in sa:
+            assert math.isclose(sa[name], sb[name], rel_tol=rel, abs_tol=0.0), (
+                key,
+                name,
+                sa[name],
+                sb[name],
+            )
+        assert math.isclose(ta, tb, rel_tol=rel, abs_tol=0.0), key
+        assert math.isclose(nma, nmb, rel_tol=rel, abs_tol=0.0), key
+        for xa, xb in zip(fa, fb, strict=True):
+            assert math.isclose(xa, xb, rel_tol=rel, abs_tol=0.0), key
+        for xa, xb in zip(ba, bb, strict=True):
+            assert math.isclose(xa, xb, rel_tol=rel, abs_tol=0.0), key
+
+
+class TestSolverEquivalence:
+    def test_full_grid_scalar_vs_vector(self, monkeypatch):
+        """Every metric of every tiny 5x2 cell agrees to < 1e-9."""
+        scalar = _fingerprint("scalar", monkeypatch)
+        vector = _fingerprint("vector", monkeypatch)
+        assert len(scalar) == 10
+        _assert_cells_close(scalar, vector)
+
+    def test_default_is_vector(self, monkeypatch):
+        """With the env unset the fabric runs the vectorized default."""
+        default = _fingerprint(None, monkeypatch)
+        vector = _fingerprint("vector", monkeypatch)
+        assert default == vector
+
+    def test_solver_tolerance_is_tighter_than_saturation_band(self):
+        """The equivalence bar must out-resolve the physics it guards:
+        if solvers drifted apart by more than the saturation detection
+        tolerance, saturated-link sets could legitimately differ."""
+        assert REL_ERR <= SAT_RTOL
+
+    def test_cache_keys_identical_under_both_solvers(self, monkeypatch):
+        """Solver choice is a pure performance knob: the planned
+        ``RunSpec`` keys — the exec cache identity — never see it."""
+        keys = {}
+        for solver in ("scalar", "vector"):
+            monkeypatch.setenv("REPRO_FLOW_SOLVER", solver)
+            plan = plan_grid(
+                repro.tiny(),
+                {"FB": _trace("fill_boundary_trace", 8, 3, 0.05)},
+                repro.PLACEMENT_NAMES,
+                ROUTING_NAMES,
+                seed=7,
+                backend="flow",
+            )
+            keys[solver] = plan.keys()
+        assert keys["scalar"] == keys["vector"]
+
+
+class TestBatchedEquivalence:
+    def test_batched_matches_serial_bit_for_bit(self, monkeypatch):
+        """``flow_batch`` never changes results — partial chunks, one
+        giant chunk, or off; batching is pure task scheduling."""
+        baseline = _fingerprint("vector", monkeypatch, flow_batch=0)
+        for batch in (3, 100):
+            batched = _fingerprint("vector", monkeypatch, flow_batch=batch)
+            assert batched == baseline, f"flow_batch={batch}"
+
+    def test_batched_pool_matches_serial(self, monkeypatch):
+        """The worker-pool chunk path returns the same bits too."""
+        baseline = _fingerprint("vector", monkeypatch, flow_batch=0)
+        pooled = _fingerprint(
+            "vector", monkeypatch, flow_batch=4, max_workers=2
+        )
+        assert pooled == baseline
+
+    def test_batched_scalar_solver_composes(self, monkeypatch):
+        """The batch runner honours the solver env like everything
+        else: batched-scalar equals serial-scalar exactly."""
+        serial = _fingerprint("scalar", monkeypatch, flow_batch=0)
+        batched = _fingerprint("scalar", monkeypatch, flow_batch=5)
+        assert batched == serial
+
+
+def _fuzz_params():
+    for i, case in enumerate(_FUZZ_CASES):
+        marks = [] if i in _FAST_SLICE else [pytest.mark.slow]
+        yield pytest.param(*case, id=f"{case[0]}-r{case[1]}-s{case[2]}", marks=marks)
+
+
+class TestDifferentialFuzz:
+    @pytest.mark.parametrize(
+        ("builder", "ranks", "seed", "scale"), list(_fuzz_params())
+    )
+    def test_random_cells_agree(self, builder, ranks, seed, scale, monkeypatch):
+        """Seeded random workloads through the full driver: scalar and
+        vector physics agree to < 1e-9 on every cell of every grid."""
+        trace = _trace(builder, ranks, seed, scale)
+        scalar = _fingerprint("scalar", monkeypatch, trace=trace)
+        vector = _fingerprint("vector", monkeypatch, trace=trace)
+        _assert_cells_close(scalar, vector)

@@ -236,3 +236,47 @@ class TestConservation:
         send(fabric, 0, src, dst, 512 * 1024)
         sim.run()
         assert 0.0 < fabric.nonminimal_fraction < 1.0
+
+
+class TestWakeRearm:
+    """Regression: the wake machinery must make progress even when
+    floating-point time resolution collapses the next finish time."""
+
+    @pytest.mark.parametrize("solver", ("scalar", "vector"))
+    def test_no_livelock_when_finish_time_rounds_to_now(
+        self, cfg, topo, solver
+    ):
+        """At huge simulated times ``now + remaining/rate`` can round
+        back to ``now``; re-arming the wake at the same instant then
+        spins forever (same-timestamp wakes re-arm without settling any
+        bytes). The fix bumps the re-arm one ulp forward, which
+        over-covers the sub-ulp residual and finishes the flow.
+        Before the fix this raised ``RuntimeError: simulation exceeded
+        10000 events`` with zero deliveries."""
+        sim = Simulator()
+        fabric = FlowFabric(sim, topo, cfg.network, "min", solver=solver)
+        src, dst = same_router_pair(topo)
+        msg = Message(0, src, dst, 100)
+        sim.at(1e18, fabric.inject, msg)
+        sim.run(max_events=10_000)
+        assert fabric.messages_delivered == 1
+        assert fabric.bytes_delivered == 100
+        assert msg.delivered_time > 1e18
+
+    def test_normal_times_unaffected_by_ulp_guard(self, cfg, topo):
+        """At ordinary magnitudes the guard never engages: delivery
+        matches the analytic drain + latency exactly (the existing
+        single-flow timing test pins the same arithmetic; this one
+        pins it right next to the collapse regression)."""
+        sim, fabric = make_fabric(cfg, topo)
+        src, dst = same_router_pair(topo)
+        size = 4096
+        msg = send(fabric, 0, src, dst, size)
+        sim.run()
+        bw = cfg.network.terminal_bw
+        entry = fabric.routes.entry(src, dst)
+        assert math.isclose(
+            msg.delivered_time,
+            size / bw + entry.latency_ns,
+            rel_tol=1e-12,
+        )

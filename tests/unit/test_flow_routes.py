@@ -235,3 +235,129 @@ class TestSharedModel:
         assert flow_route_model(topo, net, "min") is flow_route_model(
             topo, net, "min", FlowParams()
         )
+
+
+class TestSpillEdgeCases:
+    """Whitebox coverage of the spill loop's boundary behaviour."""
+
+    def test_spill_quanta_cap_unifies_very_long_messages(
+        self, adp_model, net, topo
+    ):
+        """Messages at and far beyond the emulation budget clamp to the
+        same quanta count and therefore share one idle-memo entry —
+        object identity proves the cap, not just equal answers."""
+        _, _, (src, dst) = _pairs(topo)
+        at_cap = net.packet_size * SPILL_QUANTA
+        far_past_cap = 3 * at_cap
+        assert adp_model.spill(src, dst, at_cap, None) is adp_model.spill(
+            src, dst, far_past_cap, None
+        )
+
+    def test_below_cap_sizes_keep_distinct_memo_entries(
+        self, adp_model, net, topo
+    ):
+        """One packet under the cap is a different quanta count, hence
+        a different memo key (the cap must not swallow smaller sizes)."""
+        _, _, (src, dst) = _pairs(topo)
+        below = net.packet_size * (SPILL_QUANTA - 1)
+        at_cap = net.packet_size * SPILL_QUANTA
+        a = adp_model.spill(src, dst, below, None)
+        b = adp_model.spill(src, dst, at_cap, None)
+        assert a is not b
+
+    def test_load_off_the_first_hops_still_hits_the_idle_memo(
+        self, adp_model, net, topo
+    ):
+        """Only *first-hop* backlog can change a UGAL-L decision, so a
+        ledger loaded anywhere else must be served from the idle memo
+        (identity), keeping the common case cheap."""
+        _, _, (src, dst) = _pairs(topo)
+        size = net.packet_size * 8
+        firsts = {
+            cand.rr_path[0]
+            for cand in adp_model.candidates(src, dst)
+            if cand.rr_path
+        }
+        load = [0.0] * topo.num_links
+        victim = next(
+            lid for lid in range(topo.num_links) if lid not in firsts
+        )
+        load[victim] = 1e9
+        assert adp_model.spill(src, dst, size, load) is adp_model.spill(
+            src, dst, size, None
+        )
+
+    def test_first_hop_load_bypasses_but_never_poisons_the_memo(
+        self, adp_model, net, topo
+    ):
+        """A loaded first hop forces a fresh emulation; the idle memo
+        must keep serving the unloaded answer afterwards (a loaded
+        result cached under the idle key would be stale the moment the
+        backlog drains)."""
+        _, _, (src, dst) = _pairs(topo)
+        size = net.packet_size * 8
+        idle = adp_model.spill(src, dst, size, None)
+        load = [0.0] * topo.num_links
+        for cand in adp_model.candidates(src, dst):
+            if cand.rr_path and not cand.entry.nonmin_fraction:
+                load[cand.rr_path[0]] += 64 * net.packet_size
+        loaded = adp_model.spill(src, dst, size, load)
+        assert loaded is not idle
+        assert adp_model.spill(src, dst, size, None) is idle
+        # And each loaded call re-emulates against the ledger it was
+        # given — no memoisation keyed on a mutable list.
+        assert adp_model.spill(src, dst, size, load) is not loaded
+
+    def test_spill_set_is_monotone_in_message_size(
+        self, adp_model, net, topo
+    ):
+        """More quanta only ever *add* candidates: the greedy loop's
+        backlog is cumulative, so a candidate taken for a short message
+        is taken for every longer one."""
+        _, _, (src, dst) = _pairs(topo)
+        prev: set = set()
+        for quanta in (1, 2, 4, 8, 16, 32, SPILL_QUANTA):
+            entries = adp_model.spill(
+                src, dst, net.packet_size * quanta, None
+            )
+            got = {e.links for e in entries}
+            assert prev <= got
+            prev = got
+
+
+class TestZeroLengthValiantLeg:
+    """The empty intra-group leg (``intra(r, r) == ((),)``) composes
+    into Valiant candidates whose accounting must stay exact."""
+
+    def test_intra_same_router_is_one_empty_path(self, adp_model, topo):
+        r = topo.router_of(0)
+        assert adp_model.tables.intra(r, r) == ((),)
+
+    def test_candidate_weight_accounting_is_exact(self, adp_model, topo):
+        """For every adaptive candidate — including those whose Valiant
+        head/tail legs are zero-length — the unit weights must satisfy:
+        link weights sum to 2 (terminals) + path length, rr_hops equals
+        the router-to-router path length, and latency is the exact sum
+        of the traversed links' latencies."""
+        lat = adp_model.lat
+        for src, dst in _pairs(topo):
+            t_in = topo.terminal_in(src)
+            t_out = topo.terminal_out(dst)
+            for cand in adp_model.candidates(src, dst):
+                e = cand.entry
+                weights = dict(e.links)
+                assert weights[t_in] == 1.0
+                assert weights[t_out] == 1.0
+                assert sum(weights.values()) == 2.0 + len(cand.rr_path)
+                assert e.rr_hops == float(len(cand.rr_path))
+                want_lat = lat[t_in] + lat[t_out] + sum(
+                    lat[lid] for lid in cand.rr_path
+                )
+                assert math.isclose(e.latency_ns, want_lat, rel_tol=1e-12)
+
+    def test_valiant_paths_are_deduplicated(self, adp_model, topo):
+        """Variant filling with empty legs can collide on the same
+        router path; the candidate set must not repeat one."""
+        _, _, (src, dst) = _pairs(topo)
+        paths = [c.rr_path for c in adp_model.candidates(src, dst)]
+        assert len(paths) == len(set(paths))
