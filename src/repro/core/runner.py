@@ -80,6 +80,7 @@ def run_single(
     scheduler: str = "heap",
     faults=None,
     backend: str = "packet",
+    flow_params=None,
 ) -> RunResult:
     """Simulate one application under one placement/routing combination.
 
@@ -111,10 +112,20 @@ def run_single(
     emitting the same metric set. Unlike ``scheduler``, the backend
     *does* change results, so it is part of the exec cache identity.
     The flow backend does not support ``obs`` or fault injection.
+
+    ``flow_params`` is an optional
+    :class:`~repro.flow.routes.FlowParams` overriding the flow
+    backend's model knobs (epoch coalescing, spill emulation, Valiant
+    budget); non-default values are part of the exec cache identity.
+    Only meaningful with ``backend="flow"``.
     """
     wall_start = time.perf_counter()
     if backend not in ("packet", "flow"):
         raise ValueError(f"unknown backend {backend!r}")
+    if flow_params is not None and backend != "flow":
+        raise ValueError(
+            "flow_params is only meaningful with backend='flow'"
+        )
     if backend == "flow":
         if obs is not None:
             raise ValueError(
@@ -142,9 +153,11 @@ def run_single(
     sim = Simulator(scheduler=scheduler)
     routing_policy = None
     if backend == "flow":
-        from repro.flow.fabric import FlowFabric
+        from repro.flow.fabric import make_flow_fabric
 
-        fabric = FlowFabric(sim, topo, config.network, routing)
+        fabric = make_flow_fabric(
+            sim, topo, config.network, routing, params=flow_params
+        )
     else:
         if fault_plan is not None:
             from repro.faults.routing import make_fault_aware_routing

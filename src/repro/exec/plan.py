@@ -56,8 +56,12 @@ __all__ = [
 #: ~1e-12, so cached flow results may shift in the last bits) and the
 #: fabric wake re-arm gained the one-ulp collapse guard. The solver
 #: knob itself and ``flow_batch`` are pure performance knobs and stay
-#: OUT of the identity, like ``scheduler``.
-CODE_SALT = "repro-exec/v6"
+#: OUT of the identity, like ``scheduler``; v7 = the array flow fabric
+#: became the default (object/array agree only to rel err far below
+#: 1e-9, same last-bits argument as v6) and specs grew a
+#: ``flow_params`` field (``None``/default normalise to the pre-v7
+#: payload shape). The fabric knob stays OUT of the identity.
+CODE_SALT = "repro-exec/v7"
 
 #: Default replay event budget, mirrored from ``run_single``.
 DEFAULT_MAX_EVENTS = 50_000_000
@@ -142,6 +146,12 @@ class RunSpec:
     faults: Any = None
     backend: str = "packet"
     epoch: Any = None
+    #: Optional :class:`~repro.flow.routes.FlowParams` for flow cells.
+    #: Part of the identity hash when it differs from the defaults —
+    #: model knobs change results. ``None`` and the default params
+    #: normalise to the same key, and packet cells always hash it as
+    #: ``None``, so existing plans keep their keys.
+    flow_params: Any = None
 
     @property
     def label(self) -> str:
@@ -169,6 +179,14 @@ class RunSpec:
             if dataclasses.is_dataclass(self.epoch)
             else self.epoch
         )
+        flow_params = None
+        if self.flow_params is not None and self.backend == "flow":
+            # Imported lazily: repro.flow's package import reaches back
+            # into repro.exec at module-import time.
+            from repro.flow.routes import FlowParams
+
+            if self.flow_params != FlowParams():
+                flow_params = dataclasses.asdict(self.flow_params)
         payload = json.dumps(
             {
                 "salt": CODE_SALT,
@@ -189,6 +207,7 @@ class RunSpec:
                 "epoch": epoch,
                 # NB: `scheduler` is intentionally absent — it cannot
                 # change results, so it must not split the cache.
+                **({"flow_params": flow_params} if flow_params else {}),
             },
             sort_keys=True,
         )

@@ -43,6 +43,7 @@ plan take the ordinary path.
 
 from __future__ import annotations
 
+import os
 import signal
 import threading
 import time
@@ -79,7 +80,7 @@ def simulate_spec(
     config, spec: RunSpec, trace: JobTrace
 ) -> RunResult:
     """Default cell runner: one ``run_single`` with the spec's inputs."""
-    return run_single(
+    result = run_single(
         config,
         trace,
         spec.placement,
@@ -93,7 +94,27 @@ def simulate_spec(
         scheduler=getattr(spec, "scheduler", "heap"),
         faults=getattr(spec, "faults", None),
         backend=getattr(spec, "backend", "packet"),
+        flow_params=getattr(spec, "flow_params", None),
     )
+    if (
+        getattr(spec, "backend", "packet") == "flow"
+        and os.environ.get("REPRO_FLOW_MODEL_CACHE")
+    ):
+        # Persist this cell's (now warm) route model so sibling
+        # processes skip the derivation. Cheap when the digest already
+        # exists on disk; loading happened inside flow_route_model.
+        from repro.core.runner import build_topology
+        from repro.flow import modelcache
+        from repro.flow.routes import flow_route_model
+
+        model = flow_route_model(
+            build_topology(config.topology),
+            config.network,
+            spec.routing,
+            getattr(spec, "flow_params", None),
+        )
+        modelcache.save_from(model)
+    return result
 
 
 def _call_with_timeout(fn, args, timeout_s: float | None):

@@ -10,7 +10,13 @@ the CLI); validate it against the exact engine with
 """
 
 from repro.flow.batch import BatchedFlowRunner, run_flow_batch
-from repro.flow.fabric import FlowFabric
+from repro.flow.fabric import (
+    DEFAULT_FABRIC,
+    FABRIC_NAMES,
+    FlowFabric,
+    make_flow_fabric,
+)
+from repro.flow.fabric_array import ArrayFlowFabric
 from repro.flow.fidelity import FidelityReport, fidelity_report, kendall_tau
 from repro.flow.routes import (
     BACKEND_NAMES,
@@ -27,9 +33,12 @@ from repro.flow.solver import (
 )
 
 __all__ = [
+    "ArrayFlowFabric",
     "BACKEND_NAMES",
     "BatchedFlowRunner",
+    "DEFAULT_FABRIC",
     "DEFAULT_SOLVER",
+    "FABRIC_NAMES",
     "FlowFabric",
     "FlowEntry",
     "FlowParams",
@@ -39,6 +48,7 @@ __all__ = [
     "fidelity_report",
     "get_solver",
     "kendall_tau",
+    "make_flow_fabric",
     "run_flow_batch",
     "solve_scalar",
     "solve_vector",

@@ -50,26 +50,45 @@ class BatchedFlowRunner:
         self.runner = runner
         #: Distinct route models warmed by the last :meth:`prewarm`.
         self.models_warmed = 0
+        self._models: list[Any] = []
 
     def prewarm(self, specs: Iterable[Any]) -> int:
-        """Touch the shared route model for every routing in ``specs``.
+        """Touch the shared route model for every distinct
+        (routing, flow params) combination in ``specs``.
 
         Warming is a pure speed-up: :func:`flow_route_model` memoises on
         (topology, network, routing, params), so the per-cell fabrics
         constructed later find their entry/candidate/spill memos hot.
+        The spec's own ``flow_params`` ride along — a cell with
+        non-default params must warm *its* model, not the default one.
+        When the ``REPRO_FLOW_MODEL_CACHE`` knob is set the models also
+        load their persisted memos from disk (inside
+        :func:`flow_route_model`), and the warmed models are kept so
+        :meth:`save_models` can persist them after the batch.
         Returns the number of distinct models touched.
         """
         from repro.core.runner import build_topology
 
         topo = build_topology(self.config.topology)
-        seen: set[str] = set()
+        seen: dict[tuple[str, Any], Any] = {}
         for spec in specs:
-            routing = spec.routing
-            if routing not in seen:
-                seen.add(routing)
-                flow_route_model(topo, self.config.network, routing)
+            params = getattr(spec, "flow_params", None)
+            key = (spec.routing, params)
+            if key not in seen:
+                seen[key] = flow_route_model(
+                    topo, self.config.network, spec.routing, params
+                )
+        self._models = list(seen.values())
         self.models_warmed = len(seen)
         return self.models_warmed
+
+    def save_models(self) -> int:
+        """Persist the prewarmed models to the disk cache (no-op when
+        the ``REPRO_FLOW_MODEL_CACHE`` knob is unset or the digests
+        already exist). Returns the number of files written."""
+        from repro.flow import modelcache
+
+        return sum(modelcache.save_from(m) for m in self._models)
 
     def run_cell(self, spec, trace):
         """Solve one cell exactly as the unbatched path would."""
@@ -109,6 +128,7 @@ class BatchedFlowRunner:
             if not keep_sends and getattr(result, "job", None) is not None:
                 result.job.send_events = None
             payloads.append(("ok", result, time.perf_counter() - start))
+        self.save_models()
         return payloads
 
 

@@ -65,11 +65,57 @@ from repro.flow.solver import DEFAULT_SOLVER, get_solver
 from repro.network.packet import Message
 from repro.topology.dragonfly import Dragonfly
 
-__all__ = ["FlowFabric"]
+__all__ = [
+    "FABRIC_NAMES",
+    "DEFAULT_FABRIC",
+    "FlowFabric",
+    "make_flow_fabric",
+]
+
+#: Valid values of the fabric knob (``REPRO_FLOW_FABRIC`` / the
+#: ``make_flow_fabric(fabric=...)`` argument).
+FABRIC_NAMES = ("object", "array")
+
+#: Production default. The object fabric remains available as the
+#: frozen differential reference (pair it with
+#: ``REPRO_FLOW_SOLVER=scalar`` for the fully scalar historical path).
+DEFAULT_FABRIC = "array"
 
 #: A flow is complete once its residual drops below half a byte — far
 #: above float residue at any realistic rate, far below one packet.
 _DONE_BYTES = 0.5
+
+
+def make_flow_fabric(
+    sim: Simulator,
+    topo: Dragonfly,
+    net: NetworkParams,
+    routing: str,
+    params: FlowParams | None = None,
+    solver: str | None = None,
+    fabric: str | None = None,
+):
+    """Build the selected flow-fabric implementation.
+
+    ``fabric`` falls back to the ``REPRO_FLOW_FABRIC`` environment
+    knob, then :data:`DEFAULT_FABRIC`. Like the solver knob it is a
+    pure performance choice — the implementations agree to relative
+    error far below ``1e-9`` (see the differential harness) — so it is
+    NOT part of the exec cache identity;
+    :data:`~repro.exec.plan.CODE_SALT` was bumped when the default
+    flipped to ``array``.
+    """
+    if fabric is None:
+        fabric = os.environ.get("REPRO_FLOW_FABRIC") or DEFAULT_FABRIC
+    if fabric == "object":
+        return FlowFabric(sim, topo, net, routing, params, solver)
+    if fabric == "array":
+        from repro.flow.fabric_array import ArrayFlowFabric
+
+        return ArrayFlowFabric(sim, topo, net, routing, params, solver)
+    raise ValueError(
+        f"unknown flow fabric {fabric!r}; expected one of {FABRIC_NAMES}"
+    )
 
 
 class _Unit:

@@ -33,8 +33,11 @@ from __future__ import annotations
 
 import functools
 import math
+import os
 from dataclasses import dataclass
-from typing import NamedTuple
+from typing import Any, NamedTuple
+
+import numpy as np
 
 from repro.config import NetworkParams
 from repro.routing.tables import route_tables
@@ -133,6 +136,7 @@ class FlowRouteModel:
         if routing not in ("min", "adp"):
             raise ValueError(f"unknown routing policy {routing!r}")
         self.topo = topo
+        self.net = net
         self.routing = routing
         self.params = params if params is not None else FlowParams()
         self.tables = route_tables(topo)
@@ -156,6 +160,38 @@ class FlowRouteModel:
         self._idle_spill: dict[
             tuple[int, int, int, int], tuple[FlowEntry, ...]
         ] = {}
+        #: Restructured scoring rows for the fast spill path: parallel
+        #: tuples plus a compacted first-link index (see `_fast_rows`).
+        self._fast_scoring: dict[tuple[int, int, int], tuple] = {}
+        #: ``id(entry)`` -> (entry, link-id column, weight column) as
+        #: numpy arrays, for the array fabric's scatter ops. Keyed by
+        #: identity (entries are interned in the memos above, which
+        #: keeps the ids alive) because hashing a links tuple per lookup
+        #: would cost more than the arrays save. Never persisted to the
+        #: model cache — ids are process-local.
+        self._entry_arrays: dict[int, tuple[FlowEntry, Any, Any, tuple]] = {}
+
+    def entry_arrays(self, entry: FlowEntry) -> tuple[Any, Any, tuple]:
+        """``(cols, wgts, lids)`` for an entry's link set.
+
+        ``cols``/``wgts`` are parallel numpy arrays of the entry's link
+        ids and weights (for vectorized fancy-index accumulation);
+        ``lids`` is the plain link-id tuple (for crossing counts).
+        Memoised per entry instance.
+        """
+        key = id(entry)
+        hit = self._entry_arrays.get(key)
+        if hit is None:
+            links = entry.links
+            n = len(links)
+            cols = np.fromiter((l for l, _ in links), dtype=np.intp, count=n)
+            wgts = np.fromiter(
+                (w for _, w in links), dtype=np.float64, count=n
+            )
+            lids = tuple(l for l, _ in links)
+            hit = (entry, cols, wgts, lids)
+            self._entry_arrays[key] = hit
+        return hit[1], hit[2], hit[3]
 
     def entry(self, src_node: int, dst_node: int) -> FlowEntry:
         """The minimal aggregate entry (uniform over candidates)."""
@@ -252,6 +288,151 @@ class FlowRouteModel:
             self._idle_spill[key] = hit
         return hit
 
+    def spill_fast(
+        self,
+        src_node: int,
+        dst_node: int,
+        size: int,
+        load: Any,
+    ) -> tuple[FlowEntry, ...]:
+        """:meth:`spill` over restructured candidate arrays.
+
+        Same decisions, same returned entries, bit-for-bit: the quantum
+        loop runs over parallel tuples with the per-candidate costs and
+        drain amounts hoisted (see :meth:`_emulate_fast`), instead of
+        re-deriving them from the scoring rows and a backlog dict every
+        quantum. ``load`` may be any indexable byte ledger (the array
+        fabric passes a plain list). Shares the idle-spill memo with
+        the reference path — both produce identical tuples, which the
+        differential suite asserts.
+        """
+        psize = self.packet_size
+        cost_size = size if size < psize else psize
+        quanta = -(-size // psize)
+        if quanta > SPILL_QUANTA:
+            quanta = SPILL_QUANTA
+        rows = self._fast_rows(src_node, dst_node, cost_size)
+        if load is not None:
+            for lid in rows[6]:
+                if load[lid] != 0.0:
+                    return self._emulate_fast(src_node, rows, quanta, load)
+        key = (src_node, dst_node, cost_size, quanta)
+        hit = self._idle_spill.get(key)
+        if hit is None:
+            hit = self._emulate_fast(src_node, rows, quanta, None)
+            self._idle_spill[key] = hit
+        return hit
+
+    def _fast_rows(
+        self, src_node: int, dst_node: int, cost_size: int
+    ) -> tuple:
+        """Parallel-array form of :meth:`scoring` for the fast path.
+
+        Candidates keep their scan order; first links are compacted to
+        dense backlog slots in first-candidate order — exactly the
+        insertion order the reference emulation's backlog dict ends up
+        with after its first quantum scan, so drain order matches.
+        """
+        key = (src_node, dst_node, cost_size)
+        hit = self._fast_scoring.get(key)
+        if hit is not None:
+            return hit
+        static = self.scoring(src_node, dst_node, cost_size)
+        bw = self.bw
+        unls: list[float] = []
+        firsts: list[int] = []
+        hopss: list[int] = []
+        nonmins: list[bool] = []
+        entries: list[FlowEntry] = []
+        fidx: list[int] = []
+        uniq: dict[int, int] = {}
+        for unl, first, hops, entry in static:
+            unls.append(unl)
+            firsts.append(first)
+            hopss.append(hops)
+            nonmins.append(bool(entry.nonmin_fraction))
+            entries.append(entry)
+            fidx.append(uniq.setdefault(first, len(uniq)) if first >= 0 else -1)
+        uniq_lids = tuple(uniq)
+        built = (
+            tuple(unls),
+            tuple(firsts),
+            tuple(hopss),
+            tuple(nonmins),
+            tuple(entries),
+            tuple(fidx),
+            uniq_lids,
+            tuple(bw[l] for l in uniq_lids),
+            np.fromiter(uniq, dtype=np.intp, count=len(uniq)),
+        )
+        self._fast_scoring[key] = built
+        return built
+
+    def _emulate_fast(
+        self,
+        src_node: int,
+        rows: tuple,
+        quanta: int,
+        load: Any,
+    ) -> tuple[FlowEntry, ...]:
+        """The :meth:`_emulate` quantum loop over candidate arrays.
+
+        Every floating-point operation and comparison is performed in
+        the reference order on the reference values, so the spill set is
+        *bit-identical* to :meth:`_emulate` — the differential suite
+        asserts exact equality on randomized ledgers. The reference
+        initialises backlogs lazily during the first quantum's scan
+        (before any deposit or drain), so hoisting the initialisation
+        reads exactly one value per compact slot, in slot order.
+        """
+        unls, firsts, hopss, nonmins, entries, fidx, uniq_lids, uniq_bw, _ = (
+            rows
+        )
+        n = len(unls)
+        if n == 0:
+            return ()
+        wfac = self.params.nonminimal_weight
+        bias = self.params.minimal_bias_ns
+        psize = self.packet_size
+        drain_dt = psize / self.bw[self.topo.terminal_in(src_node)]
+        drain_amt = [drain_dt * b for b in uniq_bw]
+        nb = len(uniq_lids)
+        if load is not None:
+            b_val = [float(load[l]) for l in uniq_lids]
+        else:
+            b_val = [0.0] * nb
+        took = [False] * n
+        n_taken = 0
+        slots = range(nb)
+        cands = range(n)
+        for _ in range(quanta):
+            best = -1
+            best_cost = math.inf
+            for i in cands:
+                j = fidx[i]
+                if j < 0:
+                    cost = 0.0
+                else:
+                    cost = unls[i] + b_val[j] / uniq_bw[j] * hopss[i]
+                    if nonmins[i]:
+                        cost = cost * wfac + bias
+                if cost < best_cost:
+                    best_cost = cost
+                    best = i
+            if not took[best]:
+                took[best] = True
+                n_taken += 1
+                if n_taken == n:
+                    break
+            jb = fidx[best]
+            if jb < 0:
+                break  # same-router: nothing ever beats the empty path
+            b_val[jb] += psize
+            for j in slots:
+                q = b_val[j] - drain_amt[j]
+                b_val[j] = q if q > 0.0 else 0.0
+        return tuple(entries[i] for i in cands if took[i])
+
     def _emulate(
         self,
         src_node: int,
@@ -259,6 +440,11 @@ class FlowRouteModel:
         quanta: int,
         load: list[float] | None,
     ) -> tuple[FlowEntry, ...]:
+        if not static:
+            # An empty candidate set has nothing to spill onto; without
+            # this guard the argmin sentinel (``best = -1``) would index
+            # ``static[-1]`` — an IndexError on the empty tuple.
+            return ()
         bw = self.bw
         wfac = self.params.nonminimal_weight
         bias = self.params.minimal_bias_ns
@@ -312,18 +498,31 @@ class FlowRouteModel:
         t_in = topo.terminal_in(src_node)
         t_out = topo.terminal_out(dst_node)
 
-        agg: dict[int, float] = {t_in: 1.0, t_out: 1.0}
         latency = lat[t_in] + lat[t_out]
         rr_hops = 0.0
         minimal = self.tables.minimal(src_r, dst_r, self.params.max_minimal)
         w = 1.0 / len(minimal)
         for path in minimal:
-            for lid in path:
-                agg[lid] = agg.get(lid, 0.0) + w
             latency += w * sum(lat[lid] for lid in path)
             rr_hops += w * len(path)
+        # Link aggregation as one bincount over the concatenated paths.
+        # bincount accumulates each bin in input order, which is the
+        # path-by-path order the historical dict loop used, so the
+        # weights are bit-identical to unit-by-unit accumulation (the
+        # route-model whitebox suite asserts this).
+        rr_links: list[tuple[int, float]] = []
+        n_lids = sum(len(path) for path in minimal)
+        if n_lids:
+            flat = np.fromiter(
+                (lid for path in minimal for lid in path),
+                dtype=np.intp,
+                count=n_lids,
+            )
+            agg_w = np.bincount(flat, weights=np.full(n_lids, w))
+            nz = np.nonzero(agg_w)[0]
+            rr_links = list(zip(nz.tolist(), agg_w[nz].tolist()))
         return FlowEntry(
-            links=tuple(sorted(agg.items())),
+            links=tuple(sorted([(t_in, 1.0), (t_out, 1.0)] + rr_links)),
             latency_ns=latency,
             rr_hops=rr_hops,
             nonmin_fraction=0.0,
@@ -342,13 +541,20 @@ class FlowRouteModel:
 
         def add(path: tuple[int, ...], nonmin: bool) -> None:
             lat = self.lat
-            agg: dict[int, float] = {t_in: 1.0, t_out: 1.0}
             latency = lat[t_in] + lat[t_out]
             for lid in path:
-                agg[lid] = agg.get(lid, 0.0) + 1.0
                 latency += lat[lid]
+            if len(set(path)) == len(path):
+                # Candidate paths are simple (no repeated link), so the
+                # per-link weight is exactly 1.0 — no accumulator dict.
+                rr = [(lid, 1.0) for lid in path]
+            else:  # pragma: no cover — defensive vs. exotic tables
+                agg: dict[int, float] = {}
+                for lid in path:
+                    agg[lid] = agg.get(lid, 0.0) + 1.0
+                rr = list(agg.items())
             entry = FlowEntry(
-                links=tuple(sorted(agg.items())),
+                links=tuple(sorted([(t_in, 1.0), (t_out, 1.0)] + rr)),
                 latency_ns=latency,
                 rr_hops=float(len(path)),
                 nonmin_fraction=1.0 if nonmin else 0.0,
@@ -473,6 +679,11 @@ def flow_route_model(
     share one instance — the entry/candidate/spill memos then warm up
     once per (topology, network, routing, params) instead of once per
     run. Memo warmth never changes results, only speed.
+
+    When the ``REPRO_FLOW_MODEL_CACHE`` knob points at a directory, a
+    newly constructed model is prewarmed from disk (see
+    :mod:`repro.flow.modelcache`) — cross-process reuse of the same
+    derived state the in-process lru shares within one process.
     """
     key = params if params is not None else FlowParams()
     return _shared_model(topo, net, routing, key)
@@ -485,4 +696,9 @@ def _shared_model(
     routing: str,
     params: FlowParams,
 ) -> FlowRouteModel:
-    return FlowRouteModel(topo, net, routing, params)
+    model = FlowRouteModel(topo, net, routing, params)
+    if os.environ.get("REPRO_FLOW_MODEL_CACHE"):
+        from repro.flow import modelcache
+
+        modelcache.load_into(model)
+    return model

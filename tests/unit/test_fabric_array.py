@@ -1,0 +1,439 @@
+"""Whitebox tests of the array flow fabric and its support layers:
+the fabric factory/env knob, the fast spill path's bit-exactness, the
+incremental CSR + link-aggregate invariants, the vectorized settle and
+solve dispatch, and the disk-backed route-model prewarm cache.
+
+The cross-driver physics equivalence (object vs array fabric over the
+full grid, schedulers, worker pools, warm caches) lives in
+``tests/integration/test_flow_batch_equivalence.py``; this module pins
+the internals those promises rest on.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+import repro
+from repro.engine.simulator import Simulator
+from repro.flow import modelcache
+from repro.flow.batch import BatchedFlowRunner
+from repro.flow.fabric import (
+    DEFAULT_FABRIC,
+    FABRIC_NAMES,
+    FlowFabric,
+    make_flow_fabric,
+)
+from repro.flow.fabric_array import ArrayFlowFabric
+from repro.flow.routes import (
+    FlowParams,
+    FlowRouteModel,
+    _shared_model,
+    flow_route_model,
+)
+from repro.network.packet import Message
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return repro.tiny()
+
+
+@pytest.fixture(scope="module")
+def topo(cfg):
+    return repro.Dragonfly(cfg.topology)
+
+
+def _workload(topo, n_msgs, seed, max_size=96 * 1024):
+    """A deterministic random burst of distinct-pair messages."""
+    rng = random.Random(seed)
+    nodes = range(topo.num_nodes)
+    out = []
+    for i in range(n_msgs):
+        src, dst = rng.sample(nodes, 2)
+        size = rng.randrange(512, max_size)
+        at = rng.uniform(0.0, 5_000.0)
+        out.append((i, src, dst, size, at))
+    return out
+
+
+def _run_workload(fabric, msgs):
+    """Inject ``msgs``, drain the sim, and return the physics."""
+    sim = fabric.sim
+    out = []
+    for mid, src, dst, size, at in msgs:
+        msg = Message(mid, src, dst, size)
+        out.append(msg)
+        sim.at(at, fabric.inject, msg)
+    sim.run()
+    fabric.drain_saturation()
+    return out
+
+
+class TestFabricFactory:
+    def test_names_and_default(self):
+        assert FABRIC_NAMES == ("object", "array")
+        assert DEFAULT_FABRIC == "array"
+
+    def test_default_is_array(self, cfg, topo, monkeypatch):
+        monkeypatch.delenv("REPRO_FLOW_FABRIC", raising=False)
+        fabric = make_flow_fabric(Simulator(), topo, cfg.network, "min")
+        assert isinstance(fabric, ArrayFlowFabric)
+
+    @pytest.mark.parametrize(
+        ("name", "cls"),
+        [("object", FlowFabric), ("array", ArrayFlowFabric)],
+    )
+    def test_env_knob_selects(self, cfg, topo, monkeypatch, name, cls):
+        monkeypatch.setenv("REPRO_FLOW_FABRIC", name)
+        fabric = make_flow_fabric(Simulator(), topo, cfg.network, "min")
+        assert type(fabric) is cls
+
+    def test_explicit_arg_beats_env(self, cfg, topo, monkeypatch):
+        monkeypatch.setenv("REPRO_FLOW_FABRIC", "array")
+        fabric = make_flow_fabric(
+            Simulator(), topo, cfg.network, "min", fabric="object"
+        )
+        assert type(fabric) is FlowFabric
+
+    def test_unknown_name_raises(self, cfg, topo):
+        with pytest.raises(ValueError, match="tensor"):
+            make_flow_fabric(
+                Simulator(), topo, cfg.network, "min", fabric="tensor"
+            )
+
+
+class TestSpillFastExactness:
+    def test_spill_fast_matches_reference_bit_for_bit(self, cfg, topo):
+        """The restructured spill emulation returns the *same tuple of
+        entries* as the reference, idle and under random cross-flow
+        load. Two separate models so the shared idle-spill memo cannot
+        mask a divergence."""
+        ref = FlowRouteModel(topo, cfg.network, "adp")
+        fast = FlowRouteModel(topo, cfg.network, "adp")
+        rng = random.Random(42)
+        n_links = topo.num_links
+        for _ in range(60):
+            src, dst = rng.sample(range(topo.num_nodes), 2)
+            size = rng.randrange(256, 512 * 1024)
+            if rng.random() < 0.4:
+                load = None
+                load_np = None
+            else:
+                load = [0.0] * n_links
+                for _ in range(rng.randrange(1, 12)):
+                    load[rng.randrange(n_links)] = rng.uniform(0.0, 8e5)
+                load_np = np.asarray(load)
+            a = ref.spill(src, dst, size, load)
+            b = fast.spill_fast(src, dst, size, load_np)
+            assert a == b, (src, dst, size)
+
+    def test_emulate_empty_candidate_set(self, cfg, topo):
+        """No scoreable candidates (degenerate inputs) must yield an
+        empty spread, not an IndexError in the quantum loop."""
+        model = FlowRouteModel(topo, cfg.network, "adp")
+        assert model._emulate(0, (), 4, None) == ()
+
+
+def _check_invariants(fabric):
+    """The incremental CSR and link aggregates match a from-scratch
+    rebuild over the currently admitted units."""
+    n = fabric._csr_n
+    lw: dict[int, float] = {}
+    lc: dict[int, int] = {}
+    lu: dict[int, list[int]] = {}
+    n_live = 0
+    for us in sorted(
+        fabric._act_units, key=lambda u: fabric._u_span[u][0]
+    ):
+        s, e = fabric._u_span[us]
+        assert 0 <= s <= e <= n
+        assert fabric._csr_live[s:e].all(), us
+        assert (fabric._csr_unit[s:e] == us).all(), us
+        np.testing.assert_array_equal(
+            fabric._csr_cols[s:e], fabric._u_cols[us]
+        )
+        np.testing.assert_array_equal(
+            fabric._csr_wgts[s:e], fabric._u_wgts[us]
+        )
+        n_live += e - s
+        for lid, w in fabric._u_links[us]:
+            lw[lid] = lw.get(lid, 0.0) + w
+            lc[lid] = lc.get(lid, 0) + 1
+            lu.setdefault(lid, []).append(us)
+    assert int(fabric._csr_live[:n].sum()) == n_live
+    assert fabric._csr_dead == n - n_live
+    assert {lid: rec[9] for lid, rec in fabric._lrec.items()} == lc
+    assert set(fabric._lrec) == set(lw)
+    for lid, w in lw.items():
+        rec = fabric._lrec[lid]
+        assert math.isclose(rec[7], w, rel_tol=1e-9, abs_tol=1e-9)
+        assert rec[4] == lid
+        assert rec[8] == fabric.bw[lid]
+    assert {
+        lid: sorted(rec[10]) for lid, rec in fabric._lrec.items()
+    } == {lid: sorted(us) for lid, us in lu.items()}
+    lx: dict[int, int] = {}
+    for fs in fabric._act_flows:
+        for lid in fabric._f_links[fs]:
+            lx[lid] = lx.get(lid, 0) + 1
+    assert fabric._lx == lx
+
+
+class TestCSRInvariants:
+    def test_invariants_hold_through_churn(self, cfg, topo):
+        """Snapshots taken mid-run — after admissions, finishes, and
+        the growth/compaction cycles they trigger — always agree with
+        a from-scratch rebuild of the CSR and the aggregates."""
+        sim = Simulator()
+        fabric = ArrayFlowFabric(sim, topo, cfg.network, "adp")
+        msgs = _workload(topo, 48, seed=9, max_size=32 * 1024)
+        checks = 0
+
+        def snap():
+            nonlocal checks
+            _check_invariants(fabric)
+            checks += 1
+
+        for t in (500.0, 2_000.0, 6_000.0, 20_000.0, 60_000.0):
+            sim.at(t, snap)
+        _run_workload(fabric, msgs)
+        assert checks == 5
+        # Fully drained: nothing admitted, nothing live.
+        _check_invariants(fabric)
+        assert not fabric._act_flows and not fabric._act_units
+
+    def test_compaction_preserves_live_rows(self, cfg, topo):
+        """Forcing a compaction mid-flight keeps exactly the live rows
+        in admission order and resets the dead counter."""
+        sim = Simulator()
+        fabric = ArrayFlowFabric(sim, topo, cfg.network, "adp")
+        msgs = _workload(topo, 40, seed=13, max_size=24 * 1024)
+        ran = 0
+
+        def force_compact():
+            nonlocal ran
+            before = [
+                (us, fabric._csr_cols[slice(*fabric._u_span[us])].copy())
+                for us in fabric._act_units
+            ]
+            fabric._csr_compact()
+            assert fabric._csr_dead == 0
+            _check_invariants(fabric)
+            for us, cols in before:
+                np.testing.assert_array_equal(
+                    fabric._csr_cols[slice(*fabric._u_span[us])], cols
+                )
+            ran += 1
+
+        for t in (3_000.0, 30_000.0):
+            sim.at(t, force_compact)
+        _run_workload(fabric, msgs)
+        assert ran == 2
+
+
+class TestVectorizedDispatch:
+    @pytest.mark.parametrize("routing", ["adp", "min"])
+    def test_forced_vector_paths_match_scalar_paths(
+        self, cfg, topo, routing
+    ):
+        """Pinning ``vec_min_units`` to 0 (every settle/solve takes the
+        numpy path) and to infinity (never) must agree: rates and sat
+        clocks to 1e-9, byte counters to their one-byte rint quantum."""
+        results = {}
+        for vec_min in (0, 10**9):
+            sim = Simulator()
+            fabric = ArrayFlowFabric(
+                sim, topo, cfg.network, routing, vec_min_units=vec_min
+            )
+            msgs = _run_workload(fabric, _workload(topo, 36, seed=21))
+            results[vec_min] = (
+                fabric.bytes_tx,
+                list(fabric.sat_ns),
+                [m.delivered_time for m in msgs],
+                [m.injected_time for m in msgs],
+                fabric.nonminimal_fraction,
+            )
+        tx_a, sat_a, del_a, inj_a, nm_a = results[0]
+        tx_b, sat_b, del_b, inj_b, nm_b = results[10**9]
+        assert np.abs(np.array(tx_a) - np.array(tx_b)).max() <= 1
+        np.testing.assert_allclose(sat_a, sat_b, rtol=1e-9, atol=1e-9)
+        np.testing.assert_allclose(del_a, del_b, rtol=1e-9)
+        np.testing.assert_allclose(inj_a, inj_b, rtol=1e-9)
+        assert math.isclose(nm_a, nm_b, rel_tol=1e-9, abs_tol=1e-12)
+
+    def test_min_routing_skips_ledger(self, cfg, topo):
+        """Minimal cells never read the UGAL ledger, so the array
+        fabric skips that bookkeeping wholesale: it stays zero."""
+        sim = Simulator()
+        fabric = ArrayFlowFabric(sim, topo, cfg.network, "min")
+        _run_workload(fabric, _workload(topo, 12, seed=3))
+        assert not fabric._adaptive
+        assert not any(fabric._load)
+
+
+def _warm_model(cfg, topo, pairs=4):
+    """A freshly constructed model with a few memos derived."""
+    model = FlowRouteModel(topo, cfg.network, "adp")
+    rng = random.Random(1)
+    for _ in range(pairs):
+        src, dst = rng.sample(range(topo.num_nodes), 2)
+        model.entry(src, dst)
+        model.spill(src, dst, 4096, None)
+    return model
+
+
+class TestModelCache:
+    @pytest.fixture(autouse=True)
+    def _clean(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(modelcache.MODEL_CACHE_ENV, str(tmp_path))
+        modelcache.reset_stats()
+        self.dir = tmp_path
+        yield
+        modelcache.reset_stats()
+
+    def test_digest_is_content_keyed(self, cfg, topo):
+        a = FlowRouteModel(topo, cfg.network, "adp")
+        b = FlowRouteModel(topo, cfg.network, "adp")
+        assert modelcache.model_digest(a) == modelcache.model_digest(b)
+        other_routing = FlowRouteModel(topo, cfg.network, "min")
+        assert modelcache.model_digest(a) != modelcache.model_digest(
+            other_routing
+        )
+        other_params = FlowRouteModel(
+            topo, cfg.network, "adp", FlowParams(epoch_ns=0.0)
+        )
+        assert modelcache.model_digest(a) != modelcache.model_digest(
+            other_params
+        )
+
+    def test_round_trip_restores_memos(self, cfg, topo):
+        warm = _warm_model(cfg, topo)
+        assert modelcache.save_from(warm) is True
+        cold = FlowRouteModel(topo, cfg.network, "adp")
+        assert not cold._cache
+        assert modelcache.load_into(cold) is True
+        assert set(cold._cache) >= set(warm._cache)
+        assert set(cold._idle_spill) >= set(warm._idle_spill)
+        for key, entry in warm._cache.items():
+            assert cold._cache[key] == entry
+        assert modelcache.stats() == {
+            "hits": 1,
+            "misses": 0,
+            "saves": 1,
+            "errors": 0,
+        }
+
+    def test_save_skips_existing_digest(self, cfg, topo):
+        warm = _warm_model(cfg, topo)
+        assert modelcache.save_from(warm) is True
+        assert modelcache.save_from(warm) is False
+        assert modelcache.save_from(warm, force=True) is True
+        assert modelcache.stats()["saves"] == 2
+
+    def test_missing_file_is_a_miss(self, cfg, topo):
+        cold = FlowRouteModel(topo, cfg.network, "adp")
+        assert modelcache.load_into(cold) is False
+        assert modelcache.stats()["misses"] == 1
+        assert modelcache.stats()["errors"] == 0
+
+    def test_corrupt_file_is_a_counted_miss(self, cfg, topo):
+        warm = _warm_model(cfg, topo)
+        modelcache.save_from(warm)
+        (path,) = self.dir.glob("model-*.pkl")
+        path.write_bytes(b"not a pickle")
+        cold = FlowRouteModel(topo, cfg.network, "adp")
+        assert modelcache.load_into(cold) is False
+        assert not cold._cache
+        assert modelcache.stats()["errors"] == 1
+        assert modelcache.stats()["misses"] == 1
+
+    def test_disabled_without_env(self, cfg, topo, monkeypatch):
+        monkeypatch.delenv(modelcache.MODEL_CACHE_ENV)
+        warm = _warm_model(cfg, topo)
+        assert modelcache.cache_dir() is None
+        assert modelcache.save_from(warm) is False
+        assert modelcache.load_into(warm) is False
+        assert modelcache.stats() == {
+            "hits": 0,
+            "misses": 0,
+            "saves": 0,
+            "errors": 0,
+        }
+
+    def test_flow_route_model_loads_from_disk(self, cfg, topo):
+        """The shared-model constructor prewarms from the disk cache
+        when the knob is set: a fresh process-level lookup starts with
+        the persisted memos already derived."""
+        modelcache.save_from(_warm_model(cfg, topo))
+        _shared_model.cache_clear()
+        model = flow_route_model(topo, cfg.network, "adp")
+        assert modelcache.stats()["hits"] == 1
+        assert model._cache  # warmed before any entry() call
+        _shared_model.cache_clear()
+
+
+class TestPrewarmParams:
+    def _spec(self, routing, params=None):
+        return SimpleNamespace(routing=routing, flow_params=params)
+
+    def test_prewarm_warms_each_params_combination(self, cfg, monkeypatch):
+        """Regression: prewarm used to key models by routing alone, so
+        a spec carrying non-default ``FlowParams`` warmed the *default*
+        model and the cell then paid the full derivation cost."""
+        calls = []
+
+        def recorder(topo, net, routing, params=None):
+            calls.append((routing, params))
+            return ("model", routing, params)
+
+        monkeypatch.setattr(
+            "repro.flow.batch.flow_route_model", recorder
+        )
+        runner = BatchedFlowRunner(cfg, runner=lambda c, s, t: None)
+        tuned = FlowParams(epoch_ns=0.0)
+        specs = [
+            self._spec("adp"),
+            self._spec("adp", tuned),
+            self._spec("adp"),  # duplicate: one model, not two
+            self._spec("min"),
+        ]
+        assert runner.prewarm(specs) == 3
+        assert runner.models_warmed == 3
+        assert calls == [
+            ("adp", None),
+            ("adp", tuned),
+            ("min", None),
+        ]
+
+    def test_save_models_persists_prewarmed_set(
+        self, cfg, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv(modelcache.MODEL_CACHE_ENV, str(tmp_path))
+        modelcache.reset_stats()
+        runner = BatchedFlowRunner(cfg, runner=lambda c, s, t: None)
+        runner.prewarm([self._spec("adp"), self._spec("min")])
+        assert runner.save_models() == 2
+        assert len(list(tmp_path.glob("model-*.pkl"))) == 2
+        # Digests already on disk: nothing rewritten.
+        assert runner.save_models() == 0
+        modelcache.reset_stats()
+
+    def test_run_batch_saves_after_solving(
+        self, cfg, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv(modelcache.MODEL_CACHE_ENV, str(tmp_path))
+        modelcache.reset_stats()
+        runner = BatchedFlowRunner(
+            cfg, runner=lambda c, spec, trace: ("solved", spec.routing)
+        )
+        payloads = runner.run_batch([(self._spec("min"), "trace")])
+        assert [(s, r) for s, r, _ in payloads] == [
+            ("ok", ("solved", "min"))
+        ]
+        assert len(list(tmp_path.glob("model-*.pkl"))) == 1
+        modelcache.reset_stats()

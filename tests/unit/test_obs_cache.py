@@ -31,23 +31,24 @@ class TestCacheVersioning:
         Each salt bump marks a change to what a cached ``RunResult``
         carries (v2: obs schema; v3: fault telemetry in ``extra``;
         v4: backend field on specs/results; v5: epoch field on specs;
-        v6: vectorized default flow solver + fabric wake guard); a warm
+        v6: vectorized default flow solver + fabric wake guard; v7:
+        array default flow fabric + flow_params field on specs); a warm
         cache directory from an older salt has to behave as fully cold.
         """
-        assert plan_mod.CODE_SALT == "repro-exec/v6"
+        assert plan_mod.CODE_SALT == "repro-exec/v7"
         cache = ResultCache(tmp_path)
 
-        monkeypatch.setattr(plan_mod, "CODE_SALT", "repro-exec/v5")
+        monkeypatch.setattr(plan_mod, "CODE_SALT", "repro-exec/v6")
         old_keys = make_plan().keys()
-        report_v5 = execute_plan(make_plan(), cache=cache)
-        assert report_v5.done == 1 and report_v5.cached == 0
+        report_v6 = execute_plan(make_plan(), cache=cache)
+        assert report_v6.done == 1 and report_v6.cached == 0
 
         monkeypatch.undo()
         new_keys = make_plan().keys()
         assert set(old_keys).isdisjoint(new_keys)
-        report_v6 = execute_plan(make_plan(), cache=cache)
-        assert report_v6.done == 1 and report_v6.cached == 0
-        # And the v6 entry now hits under the v6 salt.
+        report_v7 = execute_plan(make_plan(), cache=cache)
+        assert report_v7.done == 1 and report_v7.cached == 0
+        # And the v7 entry now hits under the v7 salt.
         assert execute_plan(make_plan(), cache=cache).cached == 1
 
     def test_obs_config_is_part_of_cell_identity(self):
