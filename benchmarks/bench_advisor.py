@@ -1,0 +1,306 @@
+"""Placement-advisor funnel throughput benchmark (the repro.advisor gate).
+
+Times the two tiers whose cost model the funnel's design rests on,
+interleaved A/B per repeat, cache off:
+
+* ``surrogate_rank`` (tier 1): featurize and score every enumerated
+  candidate placement with the fitted ridge surrogate — exactly the
+  work :func:`repro.advisor.suggest_placement` does before any
+  simulation, including per-job :class:`FeatureExtractor` construction.
+  The funnel's reach claim ("ranks thousands of candidates per
+  second") is gated here: ``--min-rank-rate`` (default 1000/s) is the
+  DESIGN.md S20 acceptance floor.
+* ``flow_screen`` (tier 2): run the funnel with packet validation
+  disabled and no result cache, so every repeat simulates its
+  ``screen_top`` flow cells from scratch; reports grid cells per
+  second of the screening tier. This is the per-candidate cost the
+  surrogate tier exists to amortise — the ratio of the two rates is
+  the funnel's leverage.
+
+The surrogate is trained fresh at startup from a real study grid
+(3 apps x 5 placements x 2 routings on the tiny preset, flow backend)
+written into a temporary cache — the same pipeline CI's advisor-smoke
+job runs, so the timed prediction path uses genuine model weights, not
+synthetic ones.
+
+Usage::
+
+    python benchmarks/bench_advisor.py                   # full run
+    python benchmarks/bench_advisor.py --quick           # CI smoke
+    python benchmarks/bench_advisor.py --out BENCH.json
+    python benchmarks/bench_advisor.py --quick \\
+        --compare BENCH_advisor.json --max-regression 0.35
+
+``--compare`` exits non-zero when any configuration's rate falls more
+than ``--max-regression`` below the reference file, or the measured
+surrogate ranking rate drops under ``--min-rank-rate``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.advisor import suggest_placement, train_surrogate
+from repro.advisor.features import FeatureExtractor, enumerate_candidates
+from repro.apps import APP_BUILDERS
+from repro.exec.cache import ResultCache
+from repro.exec.plan import plan_grid
+from repro.exec.pool import execute_plan
+from repro.placement.policies import PLACEMENT_NAMES
+
+#: Versioned result-file schema.
+SCHEMA = "repro-bench-advisor/v1"
+
+#: Scenario parameters: the tiny-preset fill-boundary workload at the
+#: bench-standard message scale (the same job the CI advisor-smoke
+#: funnel recommends for). ``rank_per_policy`` draws a large candidate
+#: pool for tier 1 — random-heavy policies keep drawing distinct node
+#: sets, so the surrogate sees hundreds of rows per prediction, the
+#: regime the rate claim is about. ``screen_top``/``screen_per_policy``
+#: bound the (much slower) flow tier to a handful of cells per repeat.
+SCENARIO = {
+    "preset": "tiny",
+    "app": "FB",
+    "ranks": 8,
+    "trace_seed": 7,
+    "msg_scale": 0.2,
+    "train_seed": 7,
+    "funnel_seed": 3,
+    "routing": "adp",
+    "rank_per_policy": 100,
+    "screen_per_policy": 3,
+    "screen_top": 8,
+}
+
+CONFIGS = ("surrogate_rank", "flow_screen")
+
+
+def _setup() -> dict:
+    """Build the shared bench context: config, trace, trained model."""
+    cfg = getattr(repro, SCENARIO["preset"])()
+    traces = {
+        app: APP_BUILDERS[app](
+            num_ranks=SCENARIO["ranks"], seed=SCENARIO["trace_seed"]
+        ).scaled(SCENARIO["msg_scale"])
+        for app in APP_BUILDERS
+    }
+    with tempfile.TemporaryDirectory(prefix="bench-advisor-") as tmp:
+        cache = ResultCache(tmp)
+        plan = plan_grid(
+            cfg,
+            traces,
+            PLACEMENT_NAMES,
+            ("min", "adp"),
+            seed=SCENARIO["train_seed"],
+            backend="flow",
+        )
+        execute_plan(plan, cache=cache).raise_if_failed()
+        model, training = train_surrogate(cfg, traces, cache)
+    print(
+        f"trained surrogate on {training.n_samples} cached results "
+        f"(R^2={model.score(training.features, training.targets):.3f})",
+        file=sys.stderr,
+    )
+    candidates = enumerate_candidates(
+        cfg,
+        SCENARIO["ranks"],
+        per_policy=SCENARIO["rank_per_policy"],
+        seed=SCENARIO["funnel_seed"],
+    )
+    return {
+        "config": cfg,
+        "trace": traces[SCENARIO["app"]],
+        "model": model,
+        "candidates": candidates,
+    }
+
+
+def _rank_once(ctx: dict) -> tuple[float, int]:
+    """Time one tier-1 pass: extractor build, featurize, score, sort."""
+    t0 = time.perf_counter()
+    fx = FeatureExtractor(ctx["config"], ctx["trace"], SCENARIO["routing"])
+    predictions = ctx["model"].predict(fx.matrix(ctx["candidates"]))
+    np.argsort(predictions, kind="stable")
+    return time.perf_counter() - t0, len(ctx["candidates"])
+
+
+def _screen_once(ctx: dict) -> tuple[float, int]:
+    """Time the funnel's flow tier, cache off (every cell simulated)."""
+    result = suggest_placement(
+        ctx["config"],
+        ctx["trace"],
+        SCENARIO["routing"],
+        ctx["model"],
+        per_policy=SCENARIO["screen_per_policy"],
+        screen_top=SCENARIO["screen_top"],
+        validate_top=0,
+        seed=SCENARIO["funnel_seed"],
+        cache=None,
+    )
+    (tier,) = [t for t in result.tiers if t.name == "flow-screen"]
+    assert tier.simulated == tier.candidates  # cache off: nothing served
+    return tier.wall_s, tier.candidates
+
+
+RUNNERS = {"surrogate_rank": _rank_once, "flow_screen": _screen_once}
+
+
+def bench(repeats: int, warmup: int = 1) -> dict:
+    """Time every configuration A/B-interleaved; return the result doc."""
+    ctx = _setup()
+    times: dict[str, list[float]] = {c: [] for c in CONFIGS}
+    counts: dict[str, int] = {c: 0 for c in CONFIGS}
+    for config in CONFIGS:
+        for _ in range(warmup):
+            RUNNERS[config](ctx)
+    for rep in range(repeats):
+        for config in CONFIGS:  # interleaved: rank, screen, rank, ...
+            wall, n = RUNNERS[config](ctx)
+            times[config].append(wall)
+            counts[config] = n
+            print(
+                f"rep {rep + 1}/{repeats} {config:>15}: {wall:.4f}s "
+                f"({n / wall:,.0f}/s)",
+                file=sys.stderr,
+            )
+    configs = {}
+    for config, walls in times.items():
+        mean = statistics.mean(walls)
+        configs[config] = {
+            "mean_s": round(mean, 5),
+            "stdev_s": round(
+                statistics.stdev(walls) if len(walls) > 1 else 0.0, 5
+            ),
+            "min_s": round(min(walls), 5),
+            "repeats": repeats,
+            "items": counts[config],
+            "rate_per_s": round(counts[config] / mean, 1),
+        }
+    rank_rate = configs["surrogate_rank"]["rate_per_s"]
+    screen_rate = configs["flow_screen"]["rate_per_s"]
+    leverage = rank_rate / screen_rate if screen_rate else 0.0
+    print(f"surrogate ranking rate: {rank_rate:,.0f} candidates/s", file=sys.stderr)
+    print(f"flow screening rate: {screen_rate:,.1f} cells/s", file=sys.stderr)
+    print(f"tier leverage (rank/screen): {leverage:,.0f}x", file=sys.stderr)
+    return {
+        "schema": SCHEMA,
+        "scenario": SCENARIO,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "configs": configs,
+        "rank_rate": rank_rate,
+        "screen_rate": screen_rate,
+        "leverage": round(leverage, 1),
+    }
+
+
+def compare(
+    doc: dict,
+    ref_path: Path,
+    max_regression: float,
+    min_rank_rate: float,
+) -> int:
+    """Gate ``doc`` against a reference file; returns the exit code."""
+    ref = json.loads(ref_path.read_text())
+    baseline = ref.get("after", ref)  # PR files keep before/after blocks
+    if baseline.get("schema") != SCHEMA:
+        print(f"schema mismatch in {ref_path}, skipping gate", file=sys.stderr)
+        return 0
+    failed = False
+    for config, cfg in baseline["configs"].items():
+        cur = doc["configs"].get(config)
+        if cur is None:
+            print(f"MISSING  {config}: not measured", file=sys.stderr)
+            failed = True
+            continue
+        ratio = cur["rate_per_s"] / cfg["rate_per_s"]
+        status = "OK" if ratio >= 1.0 - max_regression else "REGRESSED"
+        print(
+            f"{status:>9}  {config}: {cur['rate_per_s']:,}/s vs "
+            f"reference {cfg['rate_per_s']:,}/s ({ratio:.2f}x)",
+            file=sys.stderr,
+        )
+        if status != "OK":
+            failed = True
+    status = "OK" if doc["rank_rate"] >= min_rank_rate else "REGRESSED"
+    print(
+        f"{status:>9}  rank rate: {doc['rank_rate']:,.0f}/s "
+        f"(floor {min_rank_rate:,.0f}/s)",
+        file=sys.stderr,
+    )
+    if status != "OK":
+        failed = True
+    return 1 if failed else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="timed runs per configuration"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="2 repeats (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="JSON", help="write results to file"
+    )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="JSON",
+        help="reference BENCH_advisor.json to gate rates against",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.35,
+        help=(
+            "tolerated fractional rate drop vs reference (default 0.35: "
+            "tier-1 walls are milliseconds, so shared-runner noise is "
+            "proportionally larger than on the minutes-long flow bench)"
+        ),
+    )
+    parser.add_argument(
+        "--min-rank-rate",
+        type=float,
+        default=1000.0,
+        help=(
+            "minimum surrogate candidates ranked per second "
+            "(default 1000, the DESIGN.md S20 acceptance floor)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    repeats = 2 if args.quick else args.repeats
+    doc = bench(repeats=repeats, warmup=1)
+
+    if args.out:
+        Path(args.out).write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(json.dumps(doc, indent=2))
+
+    if args.compare:
+        return compare(
+            doc,
+            Path(args.compare),
+            args.max_regression,
+            args.min_rank_rate,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

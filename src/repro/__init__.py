@@ -94,6 +94,13 @@ from repro.cluster import (
     generate_stream,
     run_stream,
 )
+from repro.advisor import (
+    FeatureExtractor,
+    FunnelResult,
+    RidgeSurrogate,
+    suggest_placement,
+    train_surrogate,
+)
 
 __version__ = "1.0.0"
 
@@ -169,5 +176,10 @@ __all__ = [
     "WorkloadMix",
     "generate_stream",
     "run_stream",
+    "FeatureExtractor",
+    "FunnelResult",
+    "RidgeSurrogate",
+    "suggest_placement",
+    "train_surrogate",
     "__version__",
 ]

@@ -1,0 +1,51 @@
+"""Placement-advisor service: surrogate model + three-tier funnel (S20).
+
+The paper closes by proposing a hybrid placement methodology driven by
+the application's communication intensity; :mod:`repro.core.advisor`
+answers that with the paper's hand-written rule table. This package
+turns the rule table into a *service* a scheduler could hit at
+production rates, following the SMART direction (PAPERS.md): a learned
+surrogate over topology/placement/traffic features ranks candidate
+placements orders of magnitude faster than simulation, and a screening
+funnel keeps the ranking honest:
+
+* :mod:`repro.advisor.features` — deterministic numeric vectors from
+  (trace, topology, placement, routing): traffic descriptors from
+  :func:`repro.core.advisor.characterize` plus locality/spread/expected
+  link-load statistics from :mod:`repro.flow.routes` aggregates;
+* :mod:`repro.advisor.model` — a pure-numpy ridge surrogate with
+  versioned JSON save/load (``repro-advisor-model/v1``);
+* :mod:`repro.advisor.store` — training-set assembly from the
+  :class:`~repro.exec.cache.ResultCache` of accumulated RunResults;
+* :mod:`repro.advisor.funnel` — the three-tier answer funnel
+  (surrogate ranks thousands of candidates in milliseconds, the flow
+  backend screens the top few dozen, the packet backend validates the
+  top handful) behind :func:`suggest_placement`.
+
+CLI: ``dragonfly-tradeoff advise --funnel``. Cluster integration: the
+``surrogate`` placement policy of
+:class:`~repro.cluster.scheduler.ClusterScheduler`.
+"""
+
+from repro.advisor.features import (
+    FEATURE_NAMES,
+    FeatureExtractor,
+    enumerate_candidates,
+)
+from repro.advisor.funnel import FUNNEL_SCHEMA, FunnelResult, suggest_placement
+from repro.advisor.model import MODEL_SCHEMA, RidgeSurrogate
+from repro.advisor.store import TrainingSet, build_training_set, train_surrogate
+
+__all__ = [
+    "FEATURE_NAMES",
+    "FUNNEL_SCHEMA",
+    "MODEL_SCHEMA",
+    "FeatureExtractor",
+    "FunnelResult",
+    "RidgeSurrogate",
+    "TrainingSet",
+    "build_training_set",
+    "enumerate_candidates",
+    "suggest_placement",
+    "train_surrogate",
+]

@@ -1,0 +1,172 @@
+"""Pure-numpy ridge surrogate with versioned JSON save/load.
+
+A fitted model is a linear map over standardized features — exactly the
+kind of surrogate SMART (PAPERS.md) shows is enough to *rank* candidate
+placements, which is all the funnel's first tier needs: the flow and
+packet tiers own absolute accuracy. Ridge (L2) keeps the solve stable
+when features are collinear on small training caches (group_fraction
+vs. group_spread on a tiny machine, for example).
+
+Serialisation is plain JSON under the ``repro-advisor-model/v1``
+schema. Python floats round-trip exactly through ``json``, so a
+loaded model's predictions are **byte-identical** to the fitted
+model's — asserted by the round-trip test.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.advisor.features import FEATURE_NAMES
+
+__all__ = ["MODEL_SCHEMA", "RidgeSurrogate"]
+
+MODEL_SCHEMA = "repro-advisor-model/v1"
+
+#: What the surrogate predicts: ``log1p`` of the job's median
+#: communication time in ns — the same metric the fidelity harness and
+#: the funnel's simulation tiers rank by, log-compressed so the ridge
+#: loss doesn't let the slowest placements dominate the fit.
+TARGET = "log1p_median_comm_time_ns"
+
+
+@dataclass(frozen=True)
+class RidgeSurrogate:
+    """A fitted ridge regression: ``predict(x) = w·standardize(x) + b``."""
+
+    feature_names: tuple[str, ...]
+    coef: tuple[float, ...]
+    intercept: float
+    mean: tuple[float, ...]
+    scale: tuple[float, ...]
+    alpha: float
+    n_samples: int
+    target: str = TARGET
+
+    @classmethod
+    def fit(
+        cls,
+        features: np.ndarray,
+        targets: np.ndarray,
+        alpha: float = 1.0,
+        feature_names: Sequence[str] = FEATURE_NAMES,
+    ) -> "RidgeSurrogate":
+        """Fit on a ``(n_samples, n_features)`` matrix.
+
+        Features are standardized (constant columns get scale 1, so
+        they contribute nothing and stay harmless at predict time);
+        the intercept absorbs the target mean and is not penalised.
+        """
+        x = np.asarray(features, dtype=np.float64)
+        y = np.asarray(targets, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != len(feature_names):
+            raise ValueError(
+                f"feature matrix must be (n, {len(feature_names)}), "
+                f"got {x.shape}"
+            )
+        if y.shape != (x.shape[0],):
+            raise ValueError(
+                f"targets must be ({x.shape[0]},), got {y.shape}"
+            )
+        if x.shape[0] < 2:
+            raise ValueError("need at least 2 samples to fit")
+        if alpha <= 0.0:
+            raise ValueError("alpha must be positive")
+        mean = x.mean(axis=0)
+        scale = x.std(axis=0)
+        scale = np.where(scale > 0.0, scale, 1.0)
+        z = (x - mean) / scale
+        y0 = y - y.mean()
+        k = z.shape[1]
+        gram = z.T @ z + alpha * np.eye(k)
+        coef = np.linalg.solve(gram, z.T @ y0)
+        return cls(
+            feature_names=tuple(feature_names),
+            coef=tuple(float(c) for c in coef),
+            intercept=float(y.mean()),
+            mean=tuple(float(m) for m in mean),
+            scale=tuple(float(s) for s in scale),
+            alpha=float(alpha),
+            n_samples=int(x.shape[0]),
+        )
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predicted targets for ``(n, k)`` or a single ``(k,)`` row."""
+        x = np.asarray(features, dtype=np.float64)
+        single = x.ndim == 1
+        if single:
+            x = x[np.newaxis, :]
+        if x.shape[1] != len(self.feature_names):
+            raise ValueError(
+                f"expected {len(self.feature_names)} features, "
+                f"got {x.shape[1]}"
+            )
+        z = (x - np.asarray(self.mean)) / np.asarray(self.scale)
+        out = z @ np.asarray(self.coef) + self.intercept
+        return out[0] if single else out
+
+    def score(self, features: np.ndarray, targets: np.ndarray) -> float:
+        """Coefficient of determination (R²) on held-out data."""
+        y = np.asarray(targets, dtype=np.float64)
+        pred = np.asarray(self.predict(features), dtype=np.float64)
+        ss_res = float(np.sum((y - pred) ** 2))
+        ss_tot = float(np.sum((y - y.mean()) ** 2))
+        if ss_tot == 0.0:
+            return 1.0 if ss_res == 0.0 else 0.0
+        return 1.0 - ss_res / ss_tot
+
+    def to_payload(self) -> dict:
+        return {
+            "schema": MODEL_SCHEMA,
+            "target": self.target,
+            "feature_names": list(self.feature_names),
+            "coef": list(self.coef),
+            "intercept": self.intercept,
+            "mean": list(self.mean),
+            "scale": list(self.scale),
+            "alpha": self.alpha,
+            "n_samples": self.n_samples,
+        }
+
+    def save(self, path: str | Path) -> None:
+        """Write the model as versioned JSON (atomic replace)."""
+        out = Path(path)
+        tmp = out.with_suffix(out.suffix + ".tmp")
+        tmp.write_text(
+            json.dumps(self.to_payload(), indent=2, sort_keys=True) + "\n"
+        )
+        tmp.replace(out)
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "RidgeSurrogate":
+        schema = payload.get("schema")
+        if schema != MODEL_SCHEMA:
+            raise ValueError(
+                f"unsupported model schema {schema!r} "
+                f"(expected {MODEL_SCHEMA!r})"
+            )
+        names = tuple(payload["feature_names"])
+        if names != tuple(FEATURE_NAMES):
+            raise ValueError(
+                "model feature layout does not match this code version: "
+                f"{names} != {FEATURE_NAMES}"
+            )
+        return cls(
+            feature_names=names,
+            coef=tuple(float(c) for c in payload["coef"]),
+            intercept=float(payload["intercept"]),
+            mean=tuple(float(m) for m in payload["mean"]),
+            scale=tuple(float(s) for s in payload["scale"]),
+            alpha=float(payload["alpha"]),
+            n_samples=int(payload["n_samples"]),
+            target=str(payload.get("target", TARGET)),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RidgeSurrogate":
+        return cls.from_payload(json.loads(Path(path).read_text()))

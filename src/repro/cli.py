@@ -313,6 +313,52 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="bursty external traffic expected (implies --shared)",
     )
+    p_adv.add_argument(
+        "--funnel",
+        action="store_true",
+        help="run the three-tier advisor funnel (surrogate rank -> "
+        "flow screen -> packet validate) instead of the rule table",
+    )
+    p_adv.add_argument(
+        "--routing", choices=("min", "adp"), default="min",
+        help="routing policy the funnel optimises for (default: min)",
+    )
+    p_adv.add_argument(
+        "--model", default=None, metavar="MODEL.json",
+        help="load a fitted repro-advisor-model/v1 surrogate",
+    )
+    p_adv.add_argument(
+        "--train-cache", default=None, metavar="DIR",
+        help="train the surrogate on the RunResults in this exec cache "
+        "(built-in app traces at the current --ranks/--msg-scale)",
+    )
+    p_adv.add_argument(
+        "--save-model", default=None, metavar="MODEL.json",
+        help="save the (loaded or trained) surrogate as versioned JSON",
+    )
+    p_adv.add_argument(
+        "--candidates-per-policy", type=int, default=1, metavar="N",
+        help="seeded allocation draws per placement policy (default: 1 "
+        "— the paper's 5-policy grid)",
+    )
+    p_adv.add_argument(
+        "--screen-top", type=int, default=5, metavar="N",
+        help="candidates the flow backend screens (default: 5)",
+    )
+    p_adv.add_argument(
+        "--validate-top", type=int, default=2, metavar="N",
+        help="candidates the packet backend validates (default: 2; "
+        "0 recommends the flow winner directly)",
+    )
+    p_adv.add_argument(
+        "--exhaustive", action="store_true",
+        help="also flow-screen every candidate and report whether the "
+        "funnel found the exhaustive optimum",
+    )
+    p_adv.add_argument(
+        "--out", default=None, metavar="PATH.json",
+        help="write the repro-advisor-funnel/v1 report as JSON",
+    )
     _add_common(p_adv)
 
     p_cs = sub.add_parser(
@@ -339,8 +385,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_cs.add_argument(
         "--policy", choices=SCHED_POLICIES, default="cont",
-        help="placement policy per job, or 'advisor' to consult "
-        "repro.core.advisor per job (default: cont)",
+        help="placement policy per job, 'advisor' to consult "
+        "repro.core.advisor per job, or 'surrogate' to consult a "
+        "fitted model (needs --model) (default: cont)",
+    )
+    p_cs.add_argument(
+        "--model", default=None, metavar="MODEL.json",
+        help="fitted repro-advisor-model/v1 surrogate for "
+        "--policy surrogate",
     )
     p_cs.add_argument(
         "--routing", choices=("min", "adp"), default="adp",
@@ -541,6 +593,14 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "cluster-stream":
         from repro.cluster import run_stream, save_json
 
+        surrogate_model = None
+        if args.model is not None:
+            from repro.advisor import RidgeSurrogate
+
+            surrogate_model = RidgeSurrogate.load(args.model)
+        elif args.policy == "surrogate":
+            parser.error("--policy surrogate requires --model MODEL.json")
+
         try:
             res = run_stream(
                 config,
@@ -558,12 +618,69 @@ def main(argv: list[str] | None = None) -> int:
                 validate_every=args.validate_every,
                 faults=_fault_plan(args, config),
                 flow_batch=args.flow_batch,
+                surrogate_model=surrogate_model,
             )
         except ValueError as exc:
             parser.error(str(exc))
         print(res.summary())
         if args.out is not None:
             save_json(res, args.out)
+            print(f"wrote {args.out}", file=sys.stderr)
+        return 0
+
+    if args.command == "advise" and args.funnel:
+        from repro.advisor import (
+            RidgeSurrogate,
+            suggest_placement,
+            train_surrogate,
+        )
+        from repro.exec.cache import ResultCache
+
+        trace = _build_trace(args)
+        if args.model is not None:
+            model = RidgeSurrogate.load(args.model)
+            print(
+                f"loaded surrogate from {args.model} "
+                f"({model.n_samples} training samples)",
+                file=sys.stderr,
+            )
+        elif args.train_cache is not None:
+            traces = {}
+            for app, builder in APP_BUILDERS.items():
+                t = builder(num_ranks=args.ranks, seed=args.seed)
+                traces[app] = (
+                    t.scaled(args.msg_scale) if args.msg_scale != 1.0 else t
+                )
+            try:
+                model, training = train_surrogate(
+                    config, traces, ResultCache(args.train_cache)
+                )
+            except ValueError as exc:
+                parser.error(str(exc))
+            print(f"trained surrogate: {training.summary()}", file=sys.stderr)
+        else:
+            parser.error("--funnel requires --model or --train-cache")
+        if args.save_model is not None:
+            model.save(args.save_model)
+            print(f"wrote {args.save_model}", file=sys.stderr)
+
+        res = suggest_placement(
+            config,
+            trace,
+            args.routing,
+            model,
+            per_policy=args.candidates_per_policy,
+            screen_top=args.screen_top,
+            validate_top=args.validate_top,
+            seed=args.seed,
+            cache=args.cache_dir,
+            max_workers=args.workers,
+            flow_batch=args.flow_batch,
+            exhaustive=args.exhaustive,
+        )
+        print(res.format_table())
+        if args.out is not None:
+            res.save_json(args.out)
             print(f"wrote {args.out}", file=sys.stderr)
         return 0
 

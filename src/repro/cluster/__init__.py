@@ -29,6 +29,7 @@ from repro.cluster.export import save_json, to_doc
 from repro.cluster.scheduler import (
     ADVISOR_POLICY,
     SCHED_POLICIES,
+    SURROGATE_POLICY,
     ClusterScheduler,
 )
 from repro.cluster.workload import (
@@ -47,6 +48,7 @@ __all__ = [
     "JobClass",
     "JobRecord",
     "SCHED_POLICIES",
+    "SURROGATE_POLICY",
     "StreamJob",
     "StreamResult",
     "ValidationRecord",

@@ -271,12 +271,15 @@ def run_stream(
     timeout_s: float | None = None,
     jobs: list[StreamJob] | None = None,
     flow_batch: int = 0,
+    surrogate_model=None,
 ) -> StreamResult:
     """Drive one seeded cluster stream end to end.
 
     Jobs are drawn by :func:`~repro.cluster.workload.generate_stream`
     (or supplied via ``jobs``), scheduled FCFS (+``backfill``) under
-    ``policy`` (a placement name or ``"advisor"``), and every epoch is
+    ``policy`` (a placement name, ``"advisor"``, or ``"surrogate"`` —
+    the latter requires ``surrogate_model``, a fitted
+    :class:`~repro.advisor.model.RidgeSurrogate`), and every epoch is
     evaluated as a cached cell on the ``backend`` network model.
 
     ``validate_every=k`` additionally runs every k-th non-empty flow
@@ -331,7 +334,13 @@ def run_stream(
         else generate_stream(mix, duration_s, load, machine.num_free, seed)
     )
     sched = ClusterScheduler(
-        machine, config, policy=policy, stream_seed=seed, backfill=backfill
+        machine,
+        config,
+        policy=policy,
+        stream_seed=seed,
+        backfill=backfill,
+        routing=routing,
+        surrogate=surrogate_model,
     )
     cfg_digest = config_digest(config)
 

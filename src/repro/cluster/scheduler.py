@@ -9,12 +9,18 @@ double-allocation and leaked nodes are structurally impossible — the
 invariant the stream tests assert.
 
 Placement is any policy name from :mod:`repro.placement.policies`, or
-``"advisor"``: per-job consultation of
+one of two advisory modes: ``"advisor"`` — per-job consultation of
 :func:`repro.core.advisor.recommend` with ``shared_network=True``
 (a stream is by construction a shared machine), letting the paper's
 decision procedure drive an online scheduler instead of a one-shot
-study. Routing stays a stream-wide setting — on a real system it is a
-fabric property, not a per-job knob.
+study — and ``"surrogate"`` — per-job consultation of a fitted
+:class:`~repro.advisor.model.RidgeSurrogate`: each base policy's
+allocation is *mirrored* on the current free pool (same RNG draw the
+claim would make, no mutation), featurized against the job's trace,
+and the policy with the lowest predicted communication time wins.
+Routing stays a stream-wide setting — on a real system it is a fabric
+property, not a per-job knob — but the surrogate mode needs to know it
+(placement quality depends on it), so the scheduler carries it.
 
 Backfill is conservative-lite: when the queue head does not fit, later
 jobs that *do* fit may start, but only if their isolated-work estimate
@@ -34,15 +40,28 @@ from repro.placement.machine import Machine
 from repro.placement.policies import PLACEMENT_NAMES
 
 if TYPE_CHECKING:
+    from repro.advisor.model import RidgeSurrogate
     from repro.cluster.workload import StreamJob
 
-__all__ = ["ADVISOR_POLICY", "SCHED_POLICIES", "ClusterScheduler"]
+__all__ = [
+    "ADVISOR_POLICY",
+    "SCHED_POLICIES",
+    "SURROGATE_POLICY",
+    "ClusterScheduler",
+]
 
 #: Placement policy name that delegates to :func:`repro.core.advisor`.
 ADVISOR_POLICY = "advisor"
 
+#: Placement policy name that delegates to a fitted
+#: :class:`~repro.advisor.model.RidgeSurrogate`.
+SURROGATE_POLICY = "surrogate"
+
 #: Every placement the scheduler accepts.
-SCHED_POLICIES: tuple[str, ...] = tuple(PLACEMENT_NAMES) + (ADVISOR_POLICY,)
+SCHED_POLICIES: tuple[str, ...] = tuple(PLACEMENT_NAMES) + (
+    ADVISOR_POLICY,
+    SURROGATE_POLICY,
+)
 
 
 class ClusterScheduler:
@@ -61,17 +80,26 @@ class ClusterScheduler:
         policy: str = "cont",
         stream_seed: int = 0,
         backfill: bool = False,
+        routing: str = "adp",
+        surrogate: "RidgeSurrogate | None" = None,
     ) -> None:
         if policy not in SCHED_POLICIES:
             raise ValueError(
                 f"unknown scheduling policy {policy!r}; "
                 f"choose from {SCHED_POLICIES}"
             )
+        if policy == SURROGATE_POLICY and surrogate is None:
+            raise ValueError(
+                "the surrogate policy needs a fitted model "
+                "(train one with repro.advisor.train_surrogate)"
+            )
         self.machine = machine
         self.config = config
         self.policy = policy
         self.stream_seed = stream_seed
         self.backfill = backfill
+        self.routing = routing
+        self.surrogate = surrogate
         self.queue: deque[StreamJob] = deque()
         #: Healthy capacity at construction (fenced nodes excluded):
         #: jobs larger than this can never start and are rejected.
@@ -91,12 +119,44 @@ class ClusterScheduler:
 
     def placement_for(self, job: "StreamJob") -> str:
         """The placement policy name this job will be allocated with."""
-        if self.policy != ADVISOR_POLICY:
-            return self.policy
-        from repro.core.advisor import recommend
+        if self.policy == ADVISOR_POLICY:
+            from repro.core.advisor import recommend
 
-        rec = recommend(job.trace, self.config, shared_network=True)
-        return rec.placement
+            rec = recommend(job.trace, self.config, shared_network=True)
+            return rec.placement
+        if self.policy == SURROGATE_POLICY:
+            return self._surrogate_placement(job)
+        return self.policy
+
+    def _surrogate_placement(self, job: "StreamJob") -> str:
+        """Pick the base policy whose allocation the surrogate prefers.
+
+        Each base policy's draw is mirrored with the *same* seed the
+        eventual :meth:`~repro.placement.machine.Machine.claim_nodes`
+        call uses (``spawn_seed(stream_seed, "claim", job.id)``), so
+        the scored allocation and the committed allocation are the same
+        node set. Ties break toward the earlier policy in
+        :data:`~repro.placement.policies.PLACEMENT_NAMES`, keeping the
+        decision deterministic.
+        """
+        # Imported lazily: repro.advisor imports the cluster engine for
+        # its funnel tiers, so a module-level import would be circular.
+        from repro.advisor.features import FeatureExtractor, mirror_allocation
+
+        assert self.surrogate is not None
+        fx = FeatureExtractor(self.config, job.trace, self.routing)
+        seed = spawn_seed(self.stream_seed, "claim", job.id)
+        best_name = PLACEMENT_NAMES[0]
+        best_score = float("inf")
+        for name in PLACEMENT_NAMES:
+            nodes = mirror_allocation(
+                self.machine, name, job.ranks, seed
+            )
+            score = float(self.surrogate.predict(fx.vector(nodes)))
+            if score < best_score:
+                best_name = name
+                best_score = score
+        return best_name
 
     def schedule(self) -> list[tuple["StreamJob", list[int], str]]:
         """Start every job the queue and free pool allow, FCFS order.

@@ -76,7 +76,12 @@ def characterize(trace: JobTrace) -> TraceProfile:
 
     near = 0.0
     if total > 0:
+        # Offsets are bounded by the rank count: on tiny traces (n <= 3)
+        # a fixed distance-3 window would index out of bounds, and the
+        # wrap-around term would double-count the diagonal band.
         for d in (1, 2, 3):
+            if d >= n:
+                break
             near += float(np.trace(mat, offset=d) + np.trace(mat, offset=-d))
             # Periodic wrap-around neighbours.
             near += float(

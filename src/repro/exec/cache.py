@@ -9,7 +9,8 @@ warm cache therefore only simulates changed cells.
 
 Writes are atomic (temp file + ``os.replace``) so a crashed or killed
 worker can never leave a truncated entry behind; unreadable entries are
-treated as misses and deleted.
+treated as misses (with a warning) and deleted on lookup, and skipped
+by the bulk scans the surrogate trainer uses.
 """
 
 from __future__ import annotations
@@ -18,7 +19,9 @@ import contextlib
 import os
 import pickle
 import tempfile
+import warnings
 from pathlib import Path
+from typing import Any, Iterator
 
 __all__ = ["ResultCache"]
 
@@ -63,12 +66,45 @@ class ResultCache:
         except FileNotFoundError:
             self.misses += 1
             return None
-        except Exception:
+        except Exception as exc:
+            warnings.warn(
+                f"dropping corrupt cache entry {path.name}: {exc!r}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             self.misses += 1
             path.unlink(missing_ok=True)
             return None
         self.hits += 1
         return result
+
+    def iter_items(self) -> Iterator[tuple[str, Any]]:
+        """Yield ``(key, result)`` for every readable entry, sorted by key.
+
+        Corrupt or truncated entries (a crashed writer on a pre-atomic
+        cache, disk rot, a partial rsync) are **skipped with a
+        warning**, never raised — a training-set scan over an
+        accumulated cache must survive any file it finds. Unreadable
+        entries are left in place; the next keyed :meth:`get` removes
+        them.
+        """
+        for path in sorted(self.root.glob("*/*.pkl")):
+            try:
+                with open(path, "rb") as fh:
+                    result = pickle.load(fh)
+            except Exception as exc:
+                warnings.warn(
+                    f"skipping corrupt cache entry {path.name}: {exc!r}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            yield path.stem, result
+
+    def iter_results(self) -> Iterator[Any]:
+        """Yield every readable cached result (see :meth:`iter_items`)."""
+        for _key, result in self.iter_items():
+            yield result
 
     def put(self, key: str, result) -> None:
         """Store ``result`` under ``key`` atomically."""

@@ -1,0 +1,33 @@
+"""Importable helpers for the advisor test suites.
+
+The cross-process determinism test ships this module's functions to
+spawned worker processes by reference, so they must live in a real
+module, not inside a test function (same constraint as
+``tests.exec_helpers``).
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.advisor.features import FeatureExtractor
+from repro.apps import APP_BUILDERS
+
+
+def advisor_trace(app: str = "FB", ranks: int = 8, seed: int = 7):
+    """The canonical tiny-machine advisor test trace."""
+    return APP_BUILDERS[app](num_ranks=ranks, seed=seed).scaled(0.2)
+
+
+def feature_bytes(
+    app: str, ranks: int, seed: int, routing: str, nodes: tuple[int, ...]
+) -> bytes:
+    """Build a fresh extractor and return the raw vector bytes.
+
+    Runs in a worker process with no shared state: byte equality with
+    the parent's vector proves the extraction is deterministic across
+    processes, not merely within one.
+    """
+    config = repro.tiny()
+    trace = advisor_trace(app, ranks, seed)
+    fx = FeatureExtractor(config, trace, routing)
+    return fx.vector(nodes).tobytes()

@@ -1,0 +1,156 @@
+"""Feature extraction: layout, determinism, and candidate enumeration."""
+
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import get_context
+
+import numpy as np
+import pytest
+
+import repro
+from repro.advisor.features import (
+    FEATURE_NAMES,
+    NUM_FEATURES,
+    PLACEMENT_BLOCK,
+    FeatureExtractor,
+    enumerate_candidates,
+    mirror_allocation,
+)
+from repro.engine.rng import spawn_seed
+from repro.placement.machine import Machine
+from repro.placement.policies import PLACEMENT_NAMES
+
+from tests.advisor_helpers import advisor_trace, feature_bytes
+
+
+@pytest.fixture(scope="module")
+def config():
+    return repro.tiny()
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return advisor_trace()
+
+
+class TestLayout:
+    def test_names_are_unique_and_sized(self):
+        assert len(FEATURE_NAMES) == NUM_FEATURES
+        assert len(set(FEATURE_NAMES)) == NUM_FEATURES
+        # interaction block mirrors the placement block exactly
+        placement = FEATURE_NAMES[PLACEMENT_BLOCK : PLACEMENT_BLOCK + 10]
+        interactions = FEATURE_NAMES[PLACEMENT_BLOCK + 10 :]
+        assert tuple(f"adp_x_{n}" for n in placement) == interactions
+
+    def test_vector_shape_and_dtype(self, config, trace):
+        fx = FeatureExtractor(config, trace, "min")
+        cand = enumerate_candidates(config, trace.num_ranks, per_policy=1)[0]
+        v = fx.vector(cand.nodes)
+        assert v.shape == (NUM_FEATURES,)
+        assert v.dtype == np.float64
+        assert np.isfinite(v).all()
+
+    def test_rank_count_mismatch_raises(self, config, trace):
+        fx = FeatureExtractor(config, trace, "min")
+        with pytest.raises(ValueError, match="ranks"):
+            fx.vector((0, 1, 2))
+
+    def test_unknown_routing_raises(self, config, trace):
+        with pytest.raises(ValueError, match="routing"):
+            FeatureExtractor(config, trace, "ugal")
+
+
+class TestSemantics:
+    def test_base_block_is_placement_invariant(self, config, trace):
+        fx = FeatureExtractor(config, trace, "min")
+        cands = enumerate_candidates(config, trace.num_ranks, per_policy=3)
+        base = [fx.vector(c.nodes)[:PLACEMENT_BLOCK] for c in cands]
+        for other in base[1:]:
+            assert np.array_equal(base[0], other)
+
+    def test_placements_produce_different_vectors(self, config, trace):
+        fx = FeatureExtractor(config, trace, "min")
+        by_policy = {
+            c.placement: c
+            for c in enumerate_candidates(config, trace.num_ranks, per_policy=1)
+        }
+        v_cont = fx.vector(by_policy["cont"].nodes)
+        v_rand = fx.vector(by_policy["rand"].nodes)
+        assert not np.array_equal(
+            v_cont[PLACEMENT_BLOCK:], v_rand[PLACEMENT_BLOCK:]
+        )
+
+    def test_min_routing_zeroes_the_interaction_block(self, config, trace):
+        fx = FeatureExtractor(config, trace, "min")
+        cand = enumerate_candidates(config, trace.num_ranks, per_policy=1)[0]
+        v = fx.vector(cand.nodes)
+        assert np.all(v[PLACEMENT_BLOCK + 10 :] == 0.0)
+        assert v[FEATURE_NAMES.index("routing_adp")] == 0.0
+
+    def test_adp_interactions_equal_placement_block(self, config, trace):
+        fx = FeatureExtractor(config, trace, "adp")
+        cand = enumerate_candidates(config, trace.num_ranks, per_policy=1)[0]
+        v = fx.vector(cand.nodes)
+        assert v[FEATURE_NAMES.index("routing_adp")] == 1.0
+        assert np.array_equal(
+            v[PLACEMENT_BLOCK : PLACEMENT_BLOCK + 10],
+            v[PLACEMENT_BLOCK + 10 :],
+        )
+        # the placement block itself matches the min extractor's
+        fx_min = FeatureExtractor(config, trace, "min")
+        assert np.array_equal(
+            fx_min.vector(cand.nodes)[PLACEMENT_BLOCK : PLACEMENT_BLOCK + 10],
+            v[PLACEMENT_BLOCK : PLACEMENT_BLOCK + 10],
+        )
+
+
+class TestDeterminism:
+    def test_byte_identical_within_process(self, config, trace):
+        cand = enumerate_candidates(config, trace.num_ranks, per_policy=1)[2]
+        a = FeatureExtractor(config, trace, "adp").vector(cand.nodes)
+        b = FeatureExtractor(config, trace, "adp").vector(cand.nodes)
+        assert a.tobytes() == b.tobytes()
+
+    @pytest.mark.parametrize("routing", ["min", "adp"])
+    def test_byte_identical_across_processes(self, config, trace, routing):
+        """Same inputs -> byte-identical vector in a spawned process."""
+        cand = enumerate_candidates(config, trace.num_ranks, per_policy=2)[3]
+        local = FeatureExtractor(config, trace, routing).vector(cand.nodes)
+        with ProcessPoolExecutor(
+            max_workers=1, mp_context=get_context("spawn")
+        ) as pool:
+            remote = pool.submit(
+                feature_bytes, "FB", 8, 7, routing, cand.nodes
+            ).result(timeout=120)
+        assert local.tobytes() == remote
+
+
+class TestCandidates:
+    def test_enumeration_is_deterministic_and_deduplicated(self, config):
+        a = enumerate_candidates(config, 8, per_policy=6, seed=3)
+        b = enumerate_candidates(config, 8, per_policy=6, seed=3)
+        assert a == b
+        assert len({c.nodes for c in a}) == len(a)
+        for c in a:
+            assert len(c.nodes) == 8
+            assert len(set(c.nodes)) == 8
+            assert all(0 <= n < config.topology.num_nodes for n in c.nodes)
+
+    def test_deterministic_policies_collapse(self, config):
+        cands = enumerate_candidates(
+            config, 8, placements=("cont",), per_policy=10
+        )
+        assert len(cands) == 1
+        assert cands[0].placement == "cont"
+
+    def test_seed_changes_random_draws(self, config):
+        a = enumerate_candidates(config, 8, placements=("rand",), per_policy=4, seed=1)
+        b = enumerate_candidates(config, 8, placements=("rand",), per_policy=4, seed=2)
+        assert {c.nodes for c in a} != {c.nodes for c in b}
+
+    def test_mirror_matches_machine_allocate(self, config):
+        seed = spawn_seed(99, "claim", 12)
+        for name in PLACEMENT_NAMES:
+            machine = Machine(config.topology)
+            mirrored = mirror_allocation(machine, name, 8, seed)
+            allocated = machine.allocate(name, 8, seed=seed)
+            assert mirrored == allocated

@@ -1,6 +1,9 @@
 """Disk result cache: hit/miss/invalidation/corruption behaviour."""
 
+import pickle
+
 import numpy as np
+import pytest
 
 import repro
 from repro.exec.cache import ResultCache
@@ -47,8 +50,50 @@ class TestResultCache:
         spec = one_spec()
         cache.put(spec.key, make_stub_result(spec))
         cache.path_for(spec.key).write_bytes(b"not a pickle")
-        assert cache.get(spec.key) is None
+        with pytest.warns(RuntimeWarning, match="corrupt cache entry"):
+            assert cache.get(spec.key) is None
         assert not cache.path_for(spec.key).exists()
+
+    def test_iter_items_skips_corrupt_entries(self, tmp_path):
+        """A training-set scan must survive any file it finds (PR 9 fix)."""
+        cache = ResultCache(tmp_path)
+        good = {}
+        for seed in range(3):
+            spec = one_spec(seed=seed)
+            cache.put(spec.key, make_stub_result(spec))
+            good[spec.key] = seed
+        # Garbage bytes: not a pickle at all.
+        garbage = one_spec(seed=100)
+        cache.put(garbage.key, make_stub_result(garbage))
+        cache.path_for(garbage.key).write_bytes(b"\x00garbage\x00")
+        # Truncation: a valid pickle cut mid-stream (crashed writer on
+        # a pre-atomic cache, partial copy, disk rot).
+        truncated = one_spec(seed=101)
+        cache.put(truncated.key, make_stub_result(truncated))
+        path = cache.path_for(truncated.key)
+        path.write_bytes(path.read_bytes()[:20])
+
+        with pytest.warns(RuntimeWarning, match="corrupt cache entry"):
+            items = list(cache.iter_items())
+        assert sorted(k for k, _ in items) == sorted(good)
+        for key, result in items:
+            assert result.seed == good[key]
+        # The scan leaves bad files alone; the keyed lookup reaps them.
+        assert path.exists()
+        with pytest.warns(RuntimeWarning):
+            assert cache.get(truncated.key) is None
+        assert not path.exists()
+
+    def test_iter_results_yields_every_good_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for seed in range(4):
+            spec = one_spec(seed=seed)
+            cache.put(spec.key, make_stub_result(spec))
+        results = list(cache.iter_results())
+        assert sorted(r.seed for r in results) == [0, 1, 2, 3]
+        assert all(
+            isinstance(pickle.dumps(r), bytes) for r in results
+        )  # round-trippable objects, not raw bytes
 
     def test_len_and_clear(self, tmp_path):
         cache = ResultCache(tmp_path)
