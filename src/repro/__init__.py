@@ -101,6 +101,17 @@ from repro.advisor import (
     suggest_placement,
     train_surrogate,
 )
+from repro.mlcomms import (
+    TraceImportError,
+    TrainingReport,
+    dp_allreduce_trace,
+    load_comms_trace,
+    moe_alltoall_trace,
+    parse_comms_trace,
+    pp_1f1b_trace,
+    tp_layer_trace,
+    training_tradeoff,
+)
 
 __version__ = "1.0.0"
 
@@ -181,5 +192,14 @@ __all__ = [
     "RidgeSurrogate",
     "suggest_placement",
     "train_surrogate",
+    "TraceImportError",
+    "TrainingReport",
+    "dp_allreduce_trace",
+    "load_comms_trace",
+    "moe_alltoall_trace",
+    "parse_comms_trace",
+    "pp_1f1b_trace",
+    "tp_layer_trace",
+    "training_tradeoff",
     "__version__",
 ]

@@ -10,8 +10,11 @@ characteristics of the three DOE Design Forward mini-apps:
 * :func:`amg_trace` — AMG: regional (≤6 neighbour) communication with
   per-level decreasing sizes in three short surges, ≤75 KB peak.
 
-Plus the two synthetic background-traffic generators of Section IV-C:
-:class:`UniformRandomTraffic` and :class:`BurstyTraffic`.
+Plus the two synthetic background-traffic generators of Section IV-C
+(:class:`UniformRandomTraffic` and :class:`BurstyTraffic`) and — via
+:mod:`repro.mlcomms.generators` — the DL training family (``DP``,
+``PP``, ``TP``, ``MOE``), registered here so every driver treats
+training jobs as ordinary applications.
 """
 
 from repro.apps.crystal_router import crystal_router_trace
@@ -26,6 +29,15 @@ from repro.apps.synthetic_patterns import (
 )
 from repro.apps.patterns import grid_dims_3d, neighbors_3d, pair_jitter
 
+# Leaf-module import only: pulling in the repro.mlcomms package here
+# would cycle back through repro.core while repro.apps is still loading.
+from repro.mlcomms.generators import (
+    dp_allreduce_trace,
+    moe_alltoall_trace,
+    pp_1f1b_trace,
+    tp_layer_trace,
+)
+
 __all__ = [
     "crystal_router_trace",
     "fill_boundary_trace",
@@ -36,6 +48,10 @@ __all__ = [
     "stencil3d_trace",
     "transpose_trace",
     "alltoall_trace",
+    "dp_allreduce_trace",
+    "pp_1f1b_trace",
+    "tp_layer_trace",
+    "moe_alltoall_trace",
     "grid_dims_3d",
     "neighbors_3d",
     "pair_jitter",
@@ -51,4 +67,8 @@ APP_BUILDERS = {
     "ST3D": stencil3d_trace,
     "TRANSPOSE": transpose_trace,
     "A2A": alltoall_trace,
+    "DP": dp_allreduce_trace,
+    "PP": pp_1f1b_trace,
+    "TP": tp_layer_trace,
+    "MOE": moe_alltoall_trace,
 }

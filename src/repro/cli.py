@@ -7,7 +7,10 @@ Commands mirror the paper's three analysis steps plus utilities:
 * ``interference`` — Section IV-C background-traffic study (Figures 8-10)
 * ``resilience``   — failure-rate sweep over the grid (repro.faults)
 * ``fidelity``     — flow-vs-packet cross-fidelity check (repro.flow)
-* ``replay``       — replay a repro-dumpi trace file
+* ``replay``       — replay a repro-dumpi trace file (or a param-style
+  JSON comms trace, detected by the ``.json`` suffix)
+* ``training-tradeoff`` — the placement x routing grid on the DL
+  training family (repro.mlcomms), exported as repro-mlcomms/v1
 * ``characterize`` — print an app's communication matrix summary (Fig 2)
 * ``cluster-stream`` — online cluster scenario: seeded job stream,
   FCFS(+backfill) scheduling, epoch-cached interference (repro.cluster)
@@ -291,11 +294,45 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_common(p_fid)
 
-    p_replay = sub.add_parser("replay", help="replay a repro-dumpi trace file")
+    p_replay = sub.add_parser(
+        "replay",
+        help="replay a repro-dumpi trace file (.json = param comms trace)",
+    )
     p_replay.add_argument("trace_file")
     p_replay.add_argument("--placement", default="cont")
     p_replay.add_argument("--routing", default="min")
+    p_replay.add_argument(
+        "--trace-ranks", type=int, default=None, metavar="N",
+        help="rank count for bare-list JSON comms traces without a "
+        "num_ranks header",
+    )
     _add_common(p_replay)
+
+    p_tt = sub.add_parser(
+        "training-tradeoff",
+        help="placement x routing grid for the DL training family "
+        "(repro.mlcomms)",
+    )
+    p_tt.add_argument(
+        "--apps", default="DP,PP,TP,MOE", metavar="A,B,...",
+        help="synthetic training apps to run (default: DP,PP,TP,MOE; "
+        "empty to study only imported traces)",
+    )
+    p_tt.add_argument(
+        "--trace", action="append", default=[], metavar="TRACE.json",
+        help="also study this imported param-style comms trace "
+        "(repeatable)",
+    )
+    p_tt.add_argument(
+        "--trace-ranks", type=int, default=None, metavar="N",
+        help="rank count for imported bare-list traces without a "
+        "num_ranks header",
+    )
+    p_tt.add_argument(
+        "--out", default=None, metavar="PATH.json",
+        help="write the repro-mlcomms/v1 report as JSON",
+    )
+    _add_common(p_tt)
 
     p_char = sub.add_parser("characterize", help="trace characterisation")
     p_char.add_argument("app", choices=sorted(APP_BUILDERS))
@@ -572,8 +609,66 @@ def main(argv: list[str] | None = None) -> int:
             print(f"wrote {args.out}", file=sys.stderr)
         return 0
 
+    if args.command == "training-tradeoff":
+        from repro.mlcomms import (
+            TraceImportError,
+            default_training_traces,
+            load_comms_trace,
+            training_tradeoff,
+        )
+
+        apps = tuple(
+            a.strip().upper() for a in args.apps.split(",") if a.strip()
+        )
+        try:
+            traces = (
+                default_training_traces(
+                    args.ranks,
+                    msg_scale=args.msg_scale,
+                    seed=args.seed,
+                    apps=apps,
+                )
+                if apps
+                else {}
+            )
+        except ValueError as exc:
+            parser.error(str(exc))
+        for path in args.trace:
+            try:
+                t = load_comms_trace(path, num_ranks=args.trace_ranks)
+            except TraceImportError as exc:
+                parser.error(f"{path}: {exc}")
+            if args.msg_scale != 1.0:
+                t = t.scaled(args.msg_scale)
+            traces[t.name] = t
+        if not traces:
+            parser.error("nothing to study: empty --apps and no --trace")
+        report = training_tradeoff(
+            config,
+            traces,
+            seed=args.seed,
+            backend=args.backend,
+            scheduler=args.scheduler,
+            **_exec_opts(args),
+        )
+        print(report.format_table())
+        if args.out is not None:
+            report.save_json(args.out)
+            print(f"wrote {args.out}", file=sys.stderr)
+        return 0
+
     if args.command == "replay":
-        trace = load_trace(args.trace_file)
+        if Path(args.trace_file).suffix == ".json":
+            from repro.mlcomms import TraceImportError, load_comms_trace
+
+            try:
+                trace = load_comms_trace(
+                    args.trace_file, num_ranks=args.trace_ranks
+                )
+            except TraceImportError as exc:
+                parser.error(str(exc))
+        else:
+            trace = load_trace(args.trace_file)
         result = run_single(
             config, trace, args.placement, args.routing, seed=args.seed,
             obs=_obs_config(args), scheduler=args.scheduler,

@@ -38,6 +38,7 @@ from repro.cluster.workload import (
     WorkloadMix,
     default_mix,
     generate_stream,
+    ml_mix,
 )
 
 __all__ = [
@@ -58,6 +59,7 @@ __all__ = [
     "generate_stream",
     "interference_matrix",
     "merge_epoch_trace",
+    "ml_mix",
     "run_stream",
     "save_json",
     "simulate_epoch",

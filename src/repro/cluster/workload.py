@@ -29,6 +29,7 @@ __all__ = [
     "StreamJob",
     "WorkloadMix",
     "default_mix",
+    "ml_mix",
     "generate_stream",
 ]
 
@@ -40,6 +41,13 @@ _DEFAULT_SCALES: dict[str, tuple[float, ...]] = {
     "CR": (0.1, 0.2, 0.4),
     "FB": (0.005, 0.01, 0.02),
     "AMG": (0.5, 1.0),
+    # DL training family (repro.mlcomms): generator defaults model
+    # multi-MB gradient/activation exchanges, so stream scales are small
+    # for the same reason FB's are.
+    "DP": (0.005, 0.01, 0.02),
+    "PP": (0.005, 0.01),
+    "TP": (0.005, 0.01),
+    "MOE": (0.002, 0.005, 0.01),
 }
 _FALLBACK_SCALES: tuple[float, ...] = (0.05, 0.1)
 
@@ -161,6 +169,16 @@ class WorkloadMix:
 def default_mix() -> WorkloadMix:
     """The paper's three mini-apps at equal arrival shares."""
     return WorkloadMix.parse("CR=1,FB=1,AMG=1")
+
+
+def ml_mix() -> WorkloadMix:
+    """A training-dominated cluster: mostly DP with PP/TP/MoE minorities.
+
+    Models the common production split — data-parallel fine-tuning jobs
+    dominating arrivals, with fewer large pipeline/tensor-parallel
+    pretraining jobs and the occasional MoE run.
+    """
+    return WorkloadMix.parse("DP=2,PP=1,TP=1,MOE=1")
 
 
 @dataclass(frozen=True)

@@ -60,8 +60,12 @@ __all__ = [
 #: became the default (object/array agree only to rel err far below
 #: 1e-9, same last-bits argument as v6) and specs grew a
 #: ``flow_params`` field (``None``/default normalise to the pre-v7
-#: payload shape). The fabric knob stays OUT of the identity.
-CODE_SALT = "repro-exec/v7"
+#: payload shape). The fabric knob stays OUT of the identity;
+#: v8 = repro.mlcomms (the DL training app family: new collective
+#: expansions and app names share the cache namespace, so the bump
+#: keeps any pre-training-era cache from ever colliding with the new
+#: family's cells).
+CODE_SALT = "repro-exec/v8"
 
 #: Default replay event budget, mirrored from ``run_single``.
 DEFAULT_MAX_EVENTS = 50_000_000

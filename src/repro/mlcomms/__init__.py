@@ -1,0 +1,46 @@
+"""DL training workloads as a first-class app family (DESIGN.md §S21).
+
+Three pieces:
+
+* :mod:`repro.mlcomms.traceio` — param/commsTraceReplay-style JSON
+  comms-trace import, lowered onto replayable ``JobTrace`` objects;
+* :mod:`repro.mlcomms.generators` — seeded synthetic DP / PP / TP /
+  MoE training-job generators (registered in ``repro.apps.APP_BUILDERS``
+  as ``DP``/``PP``/``TP``/``MOE``);
+* :mod:`repro.mlcomms.study` — the ``training_tradeoff`` grid study and
+  its ``repro-mlcomms/v1`` report.
+"""
+
+from repro.mlcomms.generators import (
+    dp_allreduce_trace,
+    moe_alltoall_trace,
+    pp_1f1b_trace,
+    tp_layer_trace,
+)
+from repro.mlcomms.study import (
+    DEFAULT_APPS,
+    SCHEMA,
+    TrainingReport,
+    default_training_traces,
+    training_tradeoff,
+)
+from repro.mlcomms.traceio import (
+    TraceImportError,
+    load_comms_trace,
+    parse_comms_trace,
+)
+
+__all__ = [
+    "DEFAULT_APPS",
+    "SCHEMA",
+    "TraceImportError",
+    "TrainingReport",
+    "default_training_traces",
+    "dp_allreduce_trace",
+    "load_comms_trace",
+    "moe_alltoall_trace",
+    "parse_comms_trace",
+    "pp_1f1b_trace",
+    "tp_layer_trace",
+    "training_tradeoff",
+]

@@ -15,6 +15,12 @@ All expansions are classic algorithms:
 * ``allreduce`` — recursive doubling on the power-of-two subset, with
   fold-in/fold-out steps for stragglers;
 * ``allgather_ring`` — ring algorithm, num_ranks-1 rounds;
+* ``reduce_scatter_ring`` — ring reduce-scatter, num_ranks-1 rounds of
+  one-chunk shifts (the first half of a ring all-reduce);
+* ``allreduce_ring`` — the ML-standard bandwidth-optimal ring
+  all-reduce: reduce-scatter followed by allgather, moving
+  ``2 * (N-1)/N * size`` bytes per rank instead of recursive
+  doubling's ``log2(N) * size``;
 * ``bcast_binomial`` — binomial tree from the root.
 """
 
@@ -25,7 +31,9 @@ from repro.mpi.trace import RankTrace
 __all__ = [
     "alltoall",
     "allreduce",
+    "allreduce_ring",
     "allgather_ring",
+    "reduce_scatter_ring",
     "bcast_binomial",
     "sendrecv",
 ]
@@ -97,6 +105,53 @@ def allgather_ring(trace: RankTrace, num_ranks: int, size: int, tag: int) -> Non
         trace.irecv(left, size, tag + r, req=0)
         trace.isend(right, size, tag + r, req=1)
         trace.waitall()
+
+
+def reduce_scatter_ring(
+    trace: RankTrace, num_ranks: int, size: int, tag: int
+) -> None:
+    """Ring reduce-scatter of a ``size``-byte buffer.
+
+    ``num_ranks - 1`` rounds; each round every rank sends one
+    ``ceil(size / num_ranks)`` chunk to its right neighbour and receives
+    one from its left (the chunk being reduced travels the whole ring).
+    Uses tags ``tag .. tag + num_ranks - 2``.
+    """
+    if num_ranks < 2:
+        return
+    chunk = _ring_chunk(size, num_ranks)
+    me = trace.rank
+    right = (me + 1) % num_ranks
+    left = (me - 1) % num_ranks
+    for r in range(num_ranks - 1):
+        trace.irecv(left, chunk, tag + r, req=0)
+        trace.isend(right, chunk, tag + r, req=1)
+        trace.waitall()
+
+
+def allreduce_ring(
+    trace: RankTrace, num_ranks: int, size: int, tag: int
+) -> None:
+    """Bandwidth-optimal ring all-reduce of a ``size``-byte buffer.
+
+    Reduce-scatter then allgather, each in ``num_ranks - 1`` one-chunk
+    ring rounds: every rank moves ``2 * (num_ranks-1)`` chunks of
+    ``ceil(size / num_ranks)`` bytes — the NCCL/Horovod data-parallel
+    gradient exchange, versus recursive doubling's ``log2(N)``
+    full-buffer rounds. Uses tags ``tag .. tag + 2 * num_ranks - 3``.
+    """
+    if num_ranks < 2:
+        return
+    chunk = _ring_chunk(size, num_ranks)
+    reduce_scatter_ring(trace, num_ranks, size, tag)
+    allgather_ring(trace, num_ranks, chunk, tag + num_ranks - 1)
+
+
+def _ring_chunk(size: int, num_ranks: int) -> int:
+    """Per-round chunk of a ring collective (at least one byte)."""
+    if size < 0:
+        raise ValueError("collective size must be non-negative")
+    return max(1, -(-size // num_ranks))
 
 
 def bcast_binomial(

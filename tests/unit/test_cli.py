@@ -202,6 +202,109 @@ class TestCommands:
                 ]
             )
 
+    def test_replay_json_comms_trace(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "dp.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "num_ranks": 8,
+                    "trace": [
+                        {"comms": "all_reduce", "in_msg_size": 2048},
+                        {"marker": "it0"},
+                    ],
+                }
+            )
+        )
+        rc, out = run_cli(
+            capsys, "replay", str(path), "--preset", "tiny", "--seed", "1"
+        )
+        assert rc == 0
+        assert "max_comm_ms" in out
+
+    def test_replay_json_malformed_is_cli_error(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('[{"comms": "mystery", "in_msg_size": 4}]')
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "replay",
+                    str(path),
+                    "--preset",
+                    "tiny",
+                    "--trace-ranks",
+                    "4",
+                ]
+            )
+
+    def test_training_tradeoff(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "training.json"
+        rc, out = run_cli(
+            capsys,
+            "training-tradeoff",
+            "--apps",
+            "DP,MOE",
+            "--backend",
+            "flow",
+            "--msg-scale",
+            "0.02",
+            "--out",
+            str(out_path),
+            "--preset",
+            "tiny",
+            "--ranks",
+            "8",
+            "--seed",
+            "1",
+        )
+        assert rc == 0
+        assert "leaning" in out
+        doc = json.loads(out_path.read_text())
+        assert doc["schema"] == "repro-mlcomms/v1"
+        for app in ("DP", "MOE"):
+            for routing in ("min", "adp"):
+                assert doc["winners"][app][routing]["placement"]
+
+    def test_training_tradeoff_with_imported_trace(self, capsys, tmp_path):
+        import json
+
+        trace_path = tmp_path / "imported.json"
+        trace_path.write_text(
+            json.dumps(
+                {
+                    "name": "IMP",
+                    "num_ranks": 8,
+                    "trace": [
+                        {"comms": "all_reduce", "in_msg_size": 4096},
+                        {"marker": "it0"},
+                    ],
+                }
+            )
+        )
+        rc, out = run_cli(
+            capsys,
+            "training-tradeoff",
+            "--apps",
+            "",
+            "--trace",
+            str(trace_path),
+            "--backend",
+            "flow",
+            "--preset",
+            "tiny",
+            "--seed",
+            "1",
+        )
+        assert rc == 0
+        assert "IMP" in out
+
+    def test_training_tradeoff_rejects_empty_study(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["training-tradeoff", "--apps", "", "--preset", "tiny"])
+
     def test_unknown_app_rejected(self, capsys):
         with pytest.raises(SystemExit):
             main(["study", "LINPACK", "--preset", "tiny"])

@@ -47,6 +47,23 @@ class TestWorkload:
         with pytest.raises(ValueError, match="duplicate"):
             WorkloadMix.parse("CR=1,CR=2")
 
+    def test_ml_mix_generates_training_jobs(self):
+        from repro.cluster.workload import ml_mix
+
+        mix = ml_mix()
+        assert {c.app for c in mix.classes} == {"DP", "PP", "TP", "MOE"}
+        jobs = generate_stream(mix, 7200.0, 0.6, 24, seed=3, max_jobs=12)
+        assert jobs
+        for job in jobs:
+            assert job.app in ("DP", "PP", "TP", "MOE")
+            job.trace.validate()
+            assert job.trace.meta["family"] == "mlcomms"
+
+    def test_ml_apps_have_default_scales(self):
+        for app in ("DP", "PP", "TP", "MOE"):
+            scales = JobClass(app).scales
+            assert scales and all(0 < s < 1 for s in scales)
+
     def test_job_class_validation(self):
         with pytest.raises(ValueError, match="weight"):
             JobClass("CR", weight=0)

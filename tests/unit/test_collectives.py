@@ -93,6 +93,99 @@ class TestAllgatherRing:
                     assert j == (i + 1) % n
 
 
+class TestReduceScatterRing:
+    @given(n=SIZES)
+    @settings(max_examples=8, deadline=None)
+    def test_balanced_and_replayable(self, n):
+        job = build_job(
+            n, lambda t, n: collectives.reduce_scatter_ring(t, n, 256, tag=0)
+        )
+        job.validate()
+        replay(job)
+
+    def test_round_structure(self):
+        n, size = 8, 1024
+        job = build_job(
+            n, lambda t, n: collectives.reduce_scatter_ring(t, n, size, tag=0)
+        )
+        # N-1 rounds, one chunk of size/N bytes per round, per rank.
+        chunk = size // n
+        for rt in job.ranks:
+            assert rt.num_sends() == n - 1
+            assert rt.bytes_sent() == (n - 1) * chunk
+
+    def test_ring_only_touches_right_neighbor(self):
+        n = 6
+        job = build_job(
+            n, lambda t, n: collectives.reduce_scatter_ring(t, n, 600, tag=0)
+        )
+        mat = job.communication_matrix()
+        for i in range(n):
+            for j in range(n):
+                if mat[i, j] > 0:
+                    assert j == (i + 1) % n
+
+    def test_chunk_rounds_up_to_a_byte(self):
+        job = build_job(
+            4, lambda t, n: collectives.reduce_scatter_ring(t, n, 2, tag=0)
+        )
+        job.validate()
+        assert job.ranks[0].bytes_sent() == 3  # ceil(2/4) == 1 byte x 3 rounds
+
+    def test_single_rank_is_noop(self):
+        t = RankTrace(0)
+        collectives.reduce_scatter_ring(t, 1, 64, tag=0)
+        assert len(t) == 0
+
+
+class TestAllreduceRing:
+    @given(n=SIZES)
+    @settings(max_examples=8, deadline=None)
+    def test_balanced_and_replayable(self, n):
+        job = build_job(
+            n, lambda t, n: collectives.allreduce_ring(t, n, 512, tag=0)
+        )
+        job.validate()
+        result = replay(job)
+        chunk = -(-512 // n)
+        assert (result.bytes_recv == 2 * (n - 1) * chunk).all()
+
+    def test_bandwidth_optimal_round_structure(self):
+        """2(N-1) one-chunk rounds vs recursive doubling's log2(N) full."""
+        n, size = 8, 8192
+        ring = build_job(
+            n, lambda t, n: collectives.allreduce_ring(t, n, size, tag=0)
+        )
+        rd = build_job(
+            n, lambda t, n: collectives.allreduce(t, n, size, tag=0)
+        )
+        chunk = size // n
+        for rt in ring.ranks:
+            assert rt.num_sends() == 2 * (n - 1)
+            assert rt.bytes_sent() == 2 * (n - 1) * chunk
+        # Recursive doubling sends the full buffer every round.
+        assert rd.ranks[0].bytes_sent() == 3 * size  # log2(8) rounds
+        assert ring.ranks[0].bytes_sent() < rd.ranks[0].bytes_sent()
+
+    def test_only_ring_neighbors(self):
+        n = 5
+        job = build_job(
+            n, lambda t, n: collectives.allreduce_ring(t, n, 500, tag=0)
+        )
+        mat = job.communication_matrix()
+        for i in range(n):
+            for j in range(n):
+                if mat[i, j] > 0:
+                    assert j == (i + 1) % n
+
+    def test_phase_tags_do_not_collide(self):
+        """Reduce-scatter and allgather rounds use disjoint tag ranges."""
+        t = RankTrace(0)
+        collectives.allreduce_ring(t, 4, 400, tag=100)
+        tags = [op.tag for op in t.sends()]
+        assert len(tags) == len(set(tags)) == 6  # 3 RS + 3 AG rounds
+
+
 class TestBcast:
     @given(n=SIZES, root=st.integers(0, 3))
     @settings(max_examples=10, deadline=None)

@@ -1,0 +1,172 @@
+"""Synthetic DL training generators: structure, determinism, registration."""
+
+import pytest
+
+from repro.apps import APP_BUILDERS
+from repro.core.advisor import characterize
+from repro.exec.plan import trace_fingerprint
+from repro.mlcomms.generators import (
+    dp_allreduce_trace,
+    moe_alltoall_trace,
+    pp_1f1b_trace,
+    tp_layer_trace,
+)
+from repro.mlcomms.study import DEFAULT_APPS, default_training_traces
+
+GENERATORS = {
+    "DP": dp_allreduce_trace,
+    "PP": pp_1f1b_trace,
+    "TP": tp_layer_trace,
+    "MOE": moe_alltoall_trace,
+}
+
+
+@pytest.mark.parametrize("app", sorted(GENERATORS))
+class TestFamilyContract:
+    def test_balanced_and_named(self, app):
+        job = GENERATORS[app](num_ranks=8, seed=3)
+        job.validate()
+        assert job.name == app
+        assert job.meta["family"] == "mlcomms"
+
+    def test_deterministic_from_seed(self, app):
+        a = GENERATORS[app](num_ranks=8, seed=3)
+        b = GENERATORS[app](num_ranks=8, seed=3)
+        c = GENERATORS[app](num_ranks=8, seed=4)
+        assert trace_fingerprint(a) == trace_fingerprint(b)
+        assert trace_fingerprint(a) != trace_fingerprint(c)
+
+    def test_registered_as_app_builder(self, app):
+        assert APP_BUILDERS[app] is GENERATORS[app]
+        job = APP_BUILDERS[app](num_ranks=4, seed=0)
+        job.validate()
+
+    def test_periodic_phase_profile(self, app):
+        job = GENERATORS[app](num_ranks=4, iterations=3, seed=0)
+        labels = [label for label, _ in job.meta["phase_profile"]]
+        assert len(labels) == 3
+        assert all(lb.startswith(f"iter{i}") for i, lb in enumerate(labels))
+
+    def test_characterize_and_scale(self, app):
+        job = GENERATORS[app](num_ranks=8, seed=1)
+        profile = characterize(job)
+        assert profile.bytes_per_rank > 0
+        assert profile.load_fluctuation >= 0
+        scaled = job.scaled(0.01)
+        scaled.validate()
+        assert scaled.total_bytes() < job.total_bytes()
+
+    def test_rejects_degenerate_parameters(self, app):
+        with pytest.raises(ValueError):
+            GENERATORS[app](num_ranks=1)
+        with pytest.raises(ValueError):
+            GENERATORS[app](num_ranks=4, iterations=0)
+
+
+class TestDataParallel:
+    def test_ring_traffic_is_neighbor_only(self):
+        job = dp_allreduce_trace(num_ranks=6, seed=0)
+        mat = job.communication_matrix()
+        for i in range(6):
+            for j in range(6):
+                if mat[i, j] > 0:
+                    assert j == (i + 1) % 6
+
+    def test_rd_algo_moves_more_bytes(self):
+        ring = dp_allreduce_trace(num_ranks=8, seed=0, algo="ring")
+        rd = dp_allreduce_trace(num_ranks=8, seed=0, algo="rd")
+        rd.validate()
+        assert rd.total_bytes() > ring.total_bytes()
+
+    def test_bucket_count_preserves_total_volume(self):
+        few = dp_allreduce_trace(num_ranks=4, buckets=1, seed=0)
+        many = dp_allreduce_trace(num_ranks=4, buckets=8, seed=0)
+        # Same model size split differently: volumes within jitter range.
+        assert many.total_bytes() == pytest.approx(
+            few.total_bytes(), rel=0.25
+        )
+        assert many.num_messages() > few.num_messages()
+
+    def test_unknown_algo_rejected(self):
+        with pytest.raises(ValueError, match="algo"):
+            dp_allreduce_trace(num_ranks=4, algo="tree")
+
+
+class TestPipelineParallel:
+    def test_chain_only_communication(self):
+        n = 6
+        job = pp_1f1b_trace(num_ranks=n, seed=0)
+        mat = job.communication_matrix()
+        for i in range(n):
+            for j in range(n):
+                if mat[i, j] > 0:
+                    assert abs(i - j) == 1
+
+    def test_every_stage_link_active_both_ways(self):
+        n = 4
+        job = pp_1f1b_trace(num_ranks=n, seed=0)
+        mat = job.communication_matrix()
+        for s in range(n - 1):
+            assert mat[s, s + 1] > 0  # activations forward
+            assert mat[s + 1, s] > 0  # gradients backward
+
+    def test_microbatches_scale_volume(self):
+        small = pp_1f1b_trace(num_ranks=4, microbatches=4, seed=0)
+        big = pp_1f1b_trace(num_ranks=4, microbatches=16, seed=0)
+        assert big.total_bytes() > 3 * small.total_bytes()
+
+    def test_too_few_microbatches_rejected(self):
+        with pytest.raises(ValueError, match="microbatch"):
+            pp_1f1b_trace(num_ranks=8, microbatches=4)
+
+
+class TestTensorParallel:
+    def test_ring_neighbor_traffic(self):
+        n = 5
+        job = tp_layer_trace(num_ranks=n, seed=0)
+        mat = job.communication_matrix()
+        for i in range(n):
+            for j in range(n):
+                if mat[i, j] > 0:
+                    assert j == (i + 1) % n
+
+    def test_layers_scale_message_count(self):
+        shallow = tp_layer_trace(num_ranks=4, layers=2, seed=0)
+        deep = tp_layer_trace(num_ranks=4, layers=8, seed=0)
+        assert deep.num_messages() == 4 * shallow.num_messages()
+
+
+class TestMoE:
+    def test_all_pairs_communicate(self):
+        n = 6
+        job = moe_alltoall_trace(num_ranks=n, seed=0)
+        mat = job.communication_matrix()
+        for i in range(n):
+            for j in range(n):
+                if i != j:
+                    assert mat[i, j] > 0
+
+    def test_dispatch_is_skewed(self):
+        # Expert routing must not be symmetric: i->j != j->i somewhere.
+        job = moe_alltoall_trace(num_ranks=6, seed=0)
+        mat = job.communication_matrix()
+        assert (mat != mat.T).any()
+
+
+class TestStudyHelpers:
+    def test_default_traces_cover_family(self):
+        traces = default_training_traces(4, seed=0)
+        assert set(traces) == set(DEFAULT_APPS)
+        for job in traces.values():
+            job.validate()
+
+    def test_msg_scale_applied(self):
+        full = default_training_traces(4, seed=0)
+        tiny = default_training_traces(4, msg_scale=0.01, seed=0)
+        for app in DEFAULT_APPS:
+            assert tiny[app].total_bytes() < full[app].total_bytes()
+            assert tiny[app].meta["message_scale"] == 0.01
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError, match="unknown training app"):
+            default_training_traces(4, apps=("DP", "WAT"))

@@ -1,0 +1,288 @@
+"""param-style comms-trace importer: schema, lowering, typed errors."""
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mlcomms.traceio import (
+    DTYPE_WIDTHS,
+    TraceImportError,
+    load_comms_trace,
+    parse_comms_trace,
+)
+
+FIXTURE = Path(__file__).parent.parent / "data" / "comms_trace_dp8.json"
+
+
+def records(*recs):
+    return list(recs)
+
+
+class TestDocumentForms:
+    def test_bare_list_needs_explicit_ranks(self):
+        recs = records({"comms": "all_reduce", "in_msg_size": 64})
+        job = parse_comms_trace(recs, num_ranks=4)
+        assert job.num_ranks == 4
+        with pytest.raises(TraceImportError, match="num_ranks missing"):
+            parse_comms_trace(recs)
+
+    def test_object_form_headers(self):
+        doc = {
+            "name": "myjob",
+            "num_ranks": 4,
+            "trace": records({"comms": "all_reduce", "in_msg_size": 64}),
+        }
+        job = parse_comms_trace(doc)
+        assert job.name == "myjob"
+        assert job.num_ranks == 4
+
+    def test_world_size_alias(self):
+        doc = {
+            "world_size": 4,
+            "trace": records({"comms": "barrier", "in_msg_size": 1}),
+        }
+        assert parse_comms_trace(doc).num_ranks == 4
+
+    def test_caller_ranks_override_header(self):
+        doc = {
+            "num_ranks": 4,
+            "trace": records({"comms": "all_reduce", "in_msg_size": 64}),
+        }
+        assert parse_comms_trace(doc, num_ranks=8).num_ranks == 8
+
+    def test_meta_carries_family_and_counts(self):
+        job = parse_comms_trace(
+            records(
+                {"comms": "all_reduce", "in_msg_size": 64},
+                {"comms": "wait", "in_msg_size": 1},
+                {"marker": "it0"},
+            ),
+            num_ranks=4,
+        )
+        assert job.meta["family"] == "mlcomms"
+        assert job.meta["records"] == 3
+        assert job.meta["collectives"] == 1
+
+
+class TestLowering:
+    def test_validates_and_balances(self):
+        job = parse_comms_trace(
+            records(
+                {"comms": "all_reduce", "in_msg_size": 1024},
+                {"comms": "all_to_all", "in_msg_size": 4096},
+                {"comms": "all_gather", "in_msg_size": 256},
+                {"comms": "reduce_scatter", "in_msg_size": 512},
+                {"comms": "broadcast", "in_msg_size": 128, "root": 2},
+            ),
+            num_ranks=4,
+        )
+        job.validate()
+        assert job.total_bytes() > 0
+
+    def test_dtype_scales_sizes(self):
+        base = records({"comms": "all_gather", "in_msg_size": 100})
+        plain = parse_comms_trace(base, num_ranks=4)
+        for dtype, width in (("float32", 4), ("float16", 2), ("int64", 8)):
+            typed = parse_comms_trace(
+                records(
+                    {"comms": "all_gather", "in_msg_size": 100, "dtype": dtype}
+                ),
+                num_ranks=4,
+            )
+            assert typed.total_bytes() == width * plain.total_bytes()
+
+    def test_allreduce_algo_selects_expansion(self):
+        ring = parse_comms_trace(
+            records({"comms": "all_reduce", "in_msg_size": 1024}), num_ranks=8
+        )
+        rd = parse_comms_trace(
+            records(
+                {"comms": "all_reduce", "in_msg_size": 1024, "algo": "rd"}
+            ),
+            num_ranks=8,
+        )
+        # Ring moves 2(N-1)/N of the buffer per rank; rd log2(N) buffers.
+        assert ring.ranks[0].bytes_sent() == 2 * 7 * 128
+        assert rd.ranks[0].bytes_sent() == 3 * 1024
+
+    def test_markers_delimit_iterations(self):
+        job = parse_comms_trace(
+            records(
+                {"comms": "all_reduce", "in_msg_size": 64},
+                {"marker": "it0"},
+                {"comms": "all_reduce", "in_msg_size": 64},
+                {"marker": "it1"},
+            ),
+            num_ranks=4,
+        )
+        assert job.meta["iterations"] == 2
+        labels = [label for label, _ in job.meta["phase_profile"]]
+        assert labels == ["iter0", "iter1"]
+
+    def test_trailing_unmarked_span_counts(self):
+        job = parse_comms_trace(
+            records({"comms": "all_reduce", "in_msg_size": 64}), num_ranks=4
+        )
+        assert job.meta["iterations"] == 1
+
+    def test_compute_record_lands_on_every_rank(self):
+        from repro.mpi.ops import Compute
+
+        job = parse_comms_trace(
+            records({"compute_ns": 1500.5}), num_ranks=4
+        )
+        for rt in job.ranks:
+            assert any(
+                isinstance(op, Compute) and op.duration_ns == 1500.5
+                for op in rt.ops
+            )
+
+    def test_adjacent_records_use_disjoint_tags(self):
+        job = parse_comms_trace(
+            records(
+                {"comms": "all_gather", "in_msg_size": 64},
+                {"comms": "all_gather", "in_msg_size": 64},
+            ),
+            num_ranks=4,
+        )
+        tags = [op.tag for op in job.ranks[0].sends()]
+        assert len(tags) == len(set(tags))
+
+
+class TestTypedErrors:
+    @pytest.mark.parametrize(
+        "bad, index, match",
+        [
+            ({"comms": "mystery", "in_msg_size": 4}, 0, "unknown collective"),
+            ({"comms": "all_reduce"}, 0, "missing required field"),
+            ({"comms": "all_reduce", "in_msg_size": 0}, 0, "must be >= 1"),
+            ({"comms": "all_reduce", "in_msg_size": -5}, 0, "must be >= 1"),
+            ({"comms": "all_reduce", "in_msg_size": "big"}, 0, "integer"),
+            ({"comms": "all_reduce", "in_msg_size": True}, 0, "integer"),
+            (
+                {"comms": "all_reduce", "in_msg_size": 4, "dtype": "weird"},
+                0,
+                "unknown dtype",
+            ),
+            (
+                {"comms": "all_reduce", "in_msg_size": 4, "algo": "tree"},
+                0,
+                "unknown all_reduce algo",
+            ),
+            (
+                {"comms": "broadcast", "in_msg_size": 4, "root": 9},
+                0,
+                "out of range",
+            ),
+            ({"in_msg_size": 4}, 0, "neither"),
+            ({"comms": 7, "in_msg_size": 4}, 0, "must be a string"),
+            ({"marker": 3}, 0, "string label"),
+            ({"compute_ns": "fast"}, 0, "number"),
+            ({"compute_ns": -1}, 0, ">= 0"),
+        ],
+    )
+    def test_malformed_record_raises_with_index(self, bad, index, match):
+        with pytest.raises(TraceImportError, match=match) as exc_info:
+            parse_comms_trace([bad], num_ranks=4)
+        assert exc_info.value.index == index
+
+    def test_index_points_at_offending_record(self):
+        recs = records(
+            {"comms": "all_reduce", "in_msg_size": 4},
+            {"comms": "all_reduce", "in_msg_size": 4},
+            {"comms": "nope", "in_msg_size": 4},
+        )
+        with pytest.raises(TraceImportError) as exc_info:
+            parse_comms_trace(recs, num_ranks=4)
+        assert exc_info.value.index == 2
+        assert "record 2" in str(exc_info.value)
+
+    def test_non_object_record(self):
+        with pytest.raises(TraceImportError, match="must be an object"):
+            parse_comms_trace(["oops"], num_ranks=4)
+
+    def test_document_level_errors_have_no_index(self):
+        for doc in (42, "nope", {"num_ranks": 4}, {"trace": "x"}):
+            with pytest.raises(TraceImportError) as exc_info:
+                parse_comms_trace(doc, num_ranks=4)
+            assert exc_info.value.index is None
+
+    def test_bad_rank_counts(self):
+        recs = records({"comms": "barrier", "in_msg_size": 1})
+        for n in (1, 0, -3, 2.5, True):
+            with pytest.raises(TraceImportError, match="num_ranks"):
+                parse_comms_trace(recs, num_ranks=n)
+
+    # Fuzz: random JSON-shaped garbage must always surface as the typed
+    # error, never a bare KeyError/TypeError/AttributeError.
+    json_scalars = st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(-10, 10**7),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.text(max_size=12),
+    )
+    fuzz_record = st.one_of(
+        json_scalars,
+        st.lists(json_scalars, max_size=3),
+        st.dictionaries(
+            st.sampled_from(
+                [
+                    "comms",
+                    "in_msg_size",
+                    "dtype",
+                    "marker",
+                    "compute_ns",
+                    "root",
+                    "algo",
+                    "junk",
+                ]
+            ),
+            json_scalars,
+            max_size=5,
+        ),
+    )
+
+    @given(recs=st.lists(fuzz_record, max_size=6))
+    @settings(max_examples=120, deadline=None)
+    def test_fuzzed_documents_never_leak_bare_exceptions(self, recs):
+        try:
+            job = parse_comms_trace(recs, num_ranks=4)
+        except TraceImportError:
+            pass
+        else:
+            job.validate()
+
+
+class TestLoadFile:
+    def test_fixture_loads(self):
+        job = load_comms_trace(FIXTURE)
+        job.validate()
+        assert job.name == "dp8"
+        assert job.num_ranks == 8
+        assert job.meta["iterations"] == 2
+
+    def test_truncated_file_is_typed_error(self, tmp_path):
+        full = FIXTURE.read_text()
+        stub = tmp_path / "trunc.json"
+        stub.write_text(full[: len(full) // 2])
+        with pytest.raises(TraceImportError, match="not valid JSON"):
+            load_comms_trace(stub)
+
+    def test_missing_file_is_typed_error(self, tmp_path):
+        with pytest.raises(TraceImportError, match="cannot read"):
+            load_comms_trace(tmp_path / "nope.json")
+
+    def test_bare_list_file_named_after_stem(self, tmp_path):
+        p = tmp_path / "mylist.json"
+        p.write_text(
+            json.dumps([{"comms": "all_reduce", "in_msg_size": 32}])
+        )
+        job = load_comms_trace(p, num_ranks=4)
+        assert job.name == "mylist"
+
+    def test_dtype_table_sane(self):
+        assert DTYPE_WIDTHS["float32"] == 4
+        assert DTYPE_WIDTHS["bfloat16"] == 2

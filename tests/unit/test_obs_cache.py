@@ -32,23 +32,25 @@ class TestCacheVersioning:
         carries (v2: obs schema; v3: fault telemetry in ``extra``;
         v4: backend field on specs/results; v5: epoch field on specs;
         v6: vectorized default flow solver + fabric wake guard; v7:
-        array default flow fabric + flow_params field on specs); a warm
-        cache directory from an older salt has to behave as fully cold.
+        array default flow fabric + flow_params field on specs; v8:
+        the repro.mlcomms training family's expansions and app
+        names); a warm cache directory from an older salt has to
+        behave as fully cold.
         """
-        assert plan_mod.CODE_SALT == "repro-exec/v7"
+        assert plan_mod.CODE_SALT == "repro-exec/v8"
         cache = ResultCache(tmp_path)
 
-        monkeypatch.setattr(plan_mod, "CODE_SALT", "repro-exec/v6")
+        monkeypatch.setattr(plan_mod, "CODE_SALT", "repro-exec/v7")
         old_keys = make_plan().keys()
-        report_v6 = execute_plan(make_plan(), cache=cache)
-        assert report_v6.done == 1 and report_v6.cached == 0
+        report_v7 = execute_plan(make_plan(), cache=cache)
+        assert report_v7.done == 1 and report_v7.cached == 0
 
         monkeypatch.undo()
         new_keys = make_plan().keys()
         assert set(old_keys).isdisjoint(new_keys)
-        report_v7 = execute_plan(make_plan(), cache=cache)
-        assert report_v7.done == 1 and report_v7.cached == 0
-        # And the v7 entry now hits under the v7 salt.
+        report_v8 = execute_plan(make_plan(), cache=cache)
+        assert report_v8.done == 1 and report_v8.cached == 0
+        # And the v8 entry now hits under the v8 salt.
         assert execute_plan(make_plan(), cache=cache).cached == 1
 
     def test_obs_config_is_part_of_cell_identity(self):
